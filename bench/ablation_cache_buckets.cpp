@@ -1,0 +1,47 @@
+// Ablation: count-sort bucket count vs cache residency (Section 3.2.1).
+//
+// "On a problem size of 2^21 keys or more, a minimum of 128 buckets are
+// needed for the problem to map well into cache."  Real-hardware
+// measurement of the full host pipeline (bucket distribution + count
+// sort per bucket) across bucket counts: with too few buckets each
+// bucket overflows the cache and the count-sort passes go to DRAM.
+#include <chrono>
+#include <cstdio>
+
+#include "algo/sort.hpp"
+#include "common/table.hpp"
+
+using namespace acc;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  print_banner(
+      "Ablation: cache buckets vs host sort time, real hardware, 2^21 keys");
+
+  const std::size_t n_keys = std::size_t{1} << 21;
+  const auto keys = algo::uniform_keys(n_keys, 77);
+
+  Table table({"buckets", "bucket bytes", "sort time (ms)"});
+  for (std::size_t buckets : {1u, 8u, 32u, 128u, 256u, 1024u}) {
+    double best = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto copy = keys;
+      const auto t0 = Clock::now();
+      algo::cache_aware_sort(copy, buckets);
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    table.row()
+        .add(static_cast<std::int64_t>(buckets))
+        .add(static_cast<std::int64_t>(n_keys * 4 / buckets))
+        .add(best * 1e3, 1);
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected (paper, Section 3.2.1): times improve as buckets shrink"
+      "\ninto cache; little further gain beyond the cache-resident point."
+      "\n(On modern hosts with multi-MB caches the effect is milder than"
+      "\non the 2001 Athlon's 256 KB L2 — the knee sits at fewer buckets.)");
+  return 0;
+}

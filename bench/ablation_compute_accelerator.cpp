@@ -1,0 +1,72 @@
+// Extension bench: compute-accelerator mode concurrency (Section 2).
+//
+// "When using the INIC for compute acceleration, a separate path to
+// host memory is configured to allow normal network operations."  This
+// bench streams 8 MiB card-to-card while FPGA compute offloads of
+// increasing volume run on the sending card, and reports how much the
+// network stream slows down — ideal card (separate path) vs ACEII
+// prototype (single shared bus).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/acc.hpp"
+
+using namespace acc;
+
+namespace {
+
+Time stream_time(inic::InicConfig cfg, int offload_rounds) {
+  sim::Engine eng;
+  net::Network network(eng, 2);
+  hw::Node a(eng, 0), b(eng, 1);
+  inic::InicCard card_a(a, network, cfg), card_b(b, network, cfg);
+
+  Time delivered = Time::zero();
+  sim::ProcessGroup group(eng);
+  group.spawn([](inic::InicCard& c) -> sim::Process {
+    co_await c.send_stream(1, Bytes::mib(8), 0, std::any{});
+  }(card_a));
+  group.spawn([](inic::InicCard& c, sim::Engine& e, Time& out) -> sim::Process {
+    (void)co_await c.card_inbox().recv();
+    out = e.now();
+  }(card_b, eng, delivered));
+  for (int i = 0; i < offload_rounds; ++i) {
+    group.spawn([](inic::InicCard& c) -> sim::Process {
+      co_await c.compute_offload(Bytes::mib(8),
+                                 Bandwidth::mib_per_sec(1000.0));
+    }(card_a));
+  }
+  group.join();
+  return delivered;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(
+      "Extension: compute-accelerator concurrency — 8 MiB stream while the "
+      "FPGAs crunch host data");
+
+  Table table({"offload volume", "ideal stream (ms)", "ideal slowdown",
+               "prototype stream (ms)", "prototype slowdown"});
+  const Time ideal_clean = stream_time(inic::InicConfig::ideal(), 0);
+  const Time proto_clean = stream_time(inic::InicConfig::prototype_aceii(), 0);
+  for (int rounds : {0, 1, 2, 4}) {
+    const Time ideal = stream_time(inic::InicConfig::ideal(), rounds);
+    const Time proto =
+        stream_time(inic::InicConfig::prototype_aceii(), rounds);
+    table.row()
+        .add(to_string(Bytes::mib(8) * static_cast<std::uint64_t>(rounds)))
+        .add(ideal.as_millis(), 1)
+        .add(ideal / ideal_clean, 2)
+        .add(proto.as_millis(), 1)
+        .add(proto / proto_clean, 2);
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected (paper, Section 2): the ideal card's separate host-memory"
+      "\npath keeps the stream at 1.00x under any offload load; the"
+      "\nprototype's single shared bus slows networking as compute grows.");
+  return 0;
+}

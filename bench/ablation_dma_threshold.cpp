@@ -1,0 +1,60 @@
+// Ablation: the 64 KB card-to-host DMA threshold (Equation 15).
+//
+// Small card-to-host transfers waste PCI time on DMA setup; large ones
+// delay delivery because N buckets must accumulate before any one is
+// guaranteed to cross the threshold (the T_dfg term).  This sweep shows
+// both effects: DMA efficiency rises with the threshold while the
+// guaranteed-accumulation delay grows linearly — 64 KB sits near the
+// knee, justifying the paper's choice.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "hw/dma.hpp"
+#include "model/sort_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+using namespace acc;
+
+int main() {
+  print_banner("Ablation: card-to-host DMA threshold (integer sort, P = 8, 2^24 keys)");
+
+  const std::size_t keys = std::size_t{1} << 24;
+
+  Table table({"threshold (KB)", "DMA efficiency", "N x thr delay (ms)",
+               "sort total (ms)"});
+  for (std::uint64_t kib : {4u, 16u, 32u, 64u, 128u, 256u}) {
+    model::Calibration cal = model::default_calibration();
+    cal.dma_efficiency_threshold = Bytes::kib(kib);
+
+    // DMA efficiency of a transfer of exactly the threshold size.
+    sim::Engine eng;
+    sim::FifoResource bus(eng, cal.host_pci_bus);
+    hw::DmaConfig dma_cfg;
+    dma_cfg.setup = cal.dma_setup;
+    dma_cfg.max_burst = cal.dma_efficiency_threshold;
+    hw::DmaEngine dma(bus, dma_cfg);
+
+    // Equation (15) delay term at N = 256 buckets.
+    model::SortAnalyticModel sort_model(cal);
+    const Time accum = sort_model.t_dfg(256);
+
+    apps::SimCluster cluster(8, apps::Interconnect::kInicIdeal, cal);
+    apps::SortRunOptions opts;
+    opts.verify = false;
+    const auto r = run_parallel_sort(cluster, keys, opts);
+
+    table.row()
+        .add(static_cast<std::int64_t>(kib))
+        .add(dma.efficiency(cal.dma_efficiency_threshold), 3)
+        .add(accum.as_millis(), 1)
+        .add(r.total.as_millis(), 1);
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected: efficiency saturates past ~64 KB while the guaranteed"
+      "\naccumulation delay keeps growing — 64 KB is near the knee.");
+  return 0;
+}

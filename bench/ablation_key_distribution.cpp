@@ -1,0 +1,67 @@
+// Ablation: key distribution and the sampling pre-sort phase
+// (Section 3.2's caveat: uniform keys are "not a realistic assumption...
+// sampling in a pre-sort phase helps address the shortcomings... by
+// leading to a more balanced workload").
+//
+// Parallel integer sort on the ideal INIC under uniform vs Gaussian keys
+// (two widths), with and without sampling-based splitters.  Skew
+// concentrates the redistribution onto a few nodes; splitters restore
+// the balance.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/acc.hpp"
+
+using namespace acc;
+
+namespace {
+
+Time run(apps::KeyDistribution dist, double sigma, bool sampling) {
+  apps::SimCluster cluster(8, apps::Interconnect::kInicIdeal);
+  apps::SortRunOptions opts;
+  opts.verify = false;
+  opts.distribution = dist;
+  opts.gaussian_sigma = sigma;
+  opts.sampling_splitters = sampling;
+  return run_parallel_sort(cluster, std::size_t{1} << 22, opts).total;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(
+      "Ablation: key distribution x sampling pre-sort (INIC sort, P = 8, "
+      "2^22 keys)");
+
+  struct Row {
+    const char* name;
+    apps::KeyDistribution dist;
+    double sigma;
+  };
+  const Row rows[] = {
+      {"uniform", apps::KeyDistribution::kUniform, 0.0},
+      {"gaussian sigma=2^29", apps::KeyDistribution::kGaussian,
+       static_cast<double>(1u << 29)},
+      {"gaussian sigma=2^27", apps::KeyDistribution::kGaussian,
+       static_cast<double>(1u << 27)},
+  };
+
+  Table table({"distribution", "top-bit buckets (ms)",
+               "sampled splitters (ms)", "sampling win"});
+  for (const Row& row : rows) {
+    const Time plain = run(row.dist, row.sigma, false);
+    const Time sampled = run(row.dist, row.sigma, true);
+    table.row()
+        .add(row.name)
+        .add(plain.as_millis(), 1)
+        .add(sampled.as_millis(), 1)
+        .add(plain / sampled, 2);
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected: near-1.0 win for uniform keys (the paper's assumption"
+      "\nneeds no sampling); growing wins as the distribution narrows and"
+      "\ntop-bit bucketing overloads the middle nodes.");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 5(a): component times of the serialized parallel integer sort
+// on Gigabit Ethernet vs. number of processors, with partition size on
+// the right axis.  E_init = 2^25 uniform 32-bit keys.
+//
+// Series: count-sort time, phase-1 bucket-sort time, phase-2 bucket-sort
+// time, communication time (all simulated on the TCP/GigE cluster), and
+// partition size (Equation 12).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "model/sort_model.hpp"
+
+using namespace acc;
+
+int main() {
+  print_banner("Figure 5(a): integer sort component times (Gigabit Ethernet)");
+
+  const std::size_t keys = std::size_t{1} << 25;
+  model::SortAnalyticModel sort_model;
+
+  Table table({"P", "count sort (ms)", "phase1 bucket (ms)",
+               "phase2 bucket (ms)", "comm (ms)", "partition (KB)"});
+  for (std::size_t p : {1, 2, 4, 8, 16}) {
+    const auto r = core::sort_point(apps::Interconnect::kGigabitTcp, keys, p);
+    const Time comm =
+        r.total - r.count_sort - r.bucket_phase1 - r.bucket_phase2;
+    table.row()
+        .add(static_cast<std::int64_t>(p))
+        .add(r.count_sort.as_millis(), 1)
+        .add(r.bucket_phase1.as_millis(), 1)
+        .add(r.bucket_phase2.as_millis(), 1)
+        .add((p == 1 ? Time::zero() : comm).as_millis(), 1)
+        .add(sort_model.partition_size(keys, p).as_kib(), 0);
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected shape (paper): sort phases scale down ~1/P with the"
+      "\npartition; communication time scales worse than partition size.");
+  return 0;
+}

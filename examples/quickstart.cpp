@@ -1,0 +1,42 @@
+// Quickstart: build an 8-node simulated Beowulf cluster twice — once
+// with standard Gigabit Ethernet NICs and once with Intelligent NICs —
+// run the same distributed 2D-FFT on both (with full data verification),
+// and compare.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/acc.hpp"
+
+using namespace acc;
+
+int main() {
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kMatrix = 256;  // 256x256 complex doubles
+
+  std::printf("ACC quickstart: %zux%zu 2D-FFT on %zu nodes\n\n", kMatrix,
+              kMatrix, kNodes);
+
+  apps::FftRunOptions opts;
+  opts.verify = true;  // move the real matrix and check the result
+
+  for (auto ic : {apps::Interconnect::kGigabitTcp,
+                  apps::Interconnect::kInicIdeal}) {
+    apps::SimCluster cluster(kNodes, ic);
+    const apps::FftRunResult r = run_parallel_fft(cluster, kMatrix, opts);
+    std::printf("%-24s total %8.2f ms (compute %6.2f ms, transpose %7.2f ms)"
+                "  result %s\n",
+                to_string(ic), r.total.as_millis(), r.compute.as_millis(),
+                r.transpose.as_millis(),
+                r.verified ? "verified" : "WRONG");
+  }
+
+  const auto serial = apps::run_serial_fft(model::default_calibration(),
+                                           kMatrix);
+  std::printf("\nserial reference: %.2f ms\n", serial.total.as_millis());
+  std::printf(
+      "\nThe INIC run wins because the transpose's data manipulation and\n"
+      "protocol processing happen on the NIC's FPGAs, in the data stream,\n"
+      "with no host interrupts and no TCP slow start.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "apps/cluster.hpp"
+
+#include <stdexcept>
+
+namespace acc::apps {
+
+const char* to_string(Interconnect ic) {
+  switch (ic) {
+    case Interconnect::kFastEthernetTcp:
+      return "Fast Ethernet (TCP)";
+    case Interconnect::kGigabitTcp:
+      return "Gigabit Ethernet (TCP)";
+    case Interconnect::kInicIdeal:
+      return "INIC (ideal)";
+    case Interconnect::kInicPrototype:
+      return "INIC (prototype ACEII)";
+  }
+  return "?";
+}
+
+bool is_inic(Interconnect ic) {
+  return ic == Interconnect::kInicIdeal || ic == Interconnect::kInicPrototype;
+}
+
+SimCluster::SimCluster(std::size_t n, Interconnect ic,
+                       const model::Calibration& cal)
+    : ic_(ic), cal_(cal) {
+  net::NetworkConfig net_cfg;
+  net_cfg.line_rate = ic == Interconnect::kFastEthernetTcp
+                          ? cal.fast_ethernet_line_rate
+                          : cal.gigabit_line_rate;
+  net_cfg.switch_latency = cal.switch_latency;
+  net_cfg.port_buffer = cal.switch_port_buffer;
+  network_ = std::make_unique<net::Network>(eng_, n, net_cfg);
+
+  hw::NodeConfig node_cfg;
+  node_cfg.cpu.fft_mflops = cal.host_fft_mflops;
+  node_cfg.memory.l1_size = cal.l1_size;
+  node_cfg.memory.l2_size = cal.l2_size;
+  node_cfg.memory.l1_bandwidth = cal.l1_bandwidth;
+  node_cfg.memory.l2_bandwidth = cal.l2_bandwidth;
+  node_cfg.memory.dram_bandwidth = cal.dram_bandwidth;
+  node_cfg.pci_bandwidth = cal.host_pci_bus;
+  node_cfg.dma.setup = cal.dma_setup;
+  node_cfg.dma.max_burst = cal.dma_efficiency_threshold;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(
+        std::make_unique<hw::Node>(eng_, static_cast<int>(i), node_cfg));
+  }
+
+  if (is_inic(ic)) {
+    inic::InicConfig card_cfg = ic == Interconnect::kInicPrototype
+                                    ? inic::InicConfig::prototype_aceii()
+                                    : inic::InicConfig::ideal();
+    card_cfg.host_dma_rate = cal.host_to_card;
+    card_cfg.net_rate = cal.card_to_network;
+    card_cfg.card_bus_rate = cal.prototype_card_bus;
+    card_cfg.packet = cal.inic_packet;
+    card_cfg.host_delivery_threshold = cal.dma_efficiency_threshold;
+    if (ic == Interconnect::kInicPrototype) {
+      card_cfg.max_hw_buckets = cal.prototype_max_buckets;
+    }
+    card_cfg = card_cfg.tuned_for(n, net_cfg.port_buffer);
+    for (std::size_t i = 0; i < n; ++i) {
+      cards_.push_back(
+          std::make_unique<inic::InicCard>(*nodes_[i], *network_, card_cfg));
+    }
+  } else {
+    net::NicConfig nic_cfg;
+    nic_cfg.interrupts.max_frames = cal.interrupt_coalesce_frames;
+    nic_cfg.interrupts.timeout = cal.interrupt_coalesce_timeout;
+    nic_cfg.interrupts.service_cost = cal.interrupt_cost;
+    nic_cfg.per_packet_host_cost = cal.per_packet_host_cost;
+
+    proto::TcpConfig tcp_cfg;
+    tcp_cfg.mss = cal.tcp_mss;
+    tcp_cfg.initial_window_segments = cal.tcp_initial_window_segments;
+    tcp_cfg.max_window = cal.tcp_max_window;
+    tcp_cfg.min_rto = cal.tcp_min_rto;
+    tcp_cfg.per_packet_overhead =
+        cal.ethernet_frame_overhead + cal.ip_tcp_headers;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      nics_.push_back(
+          std::make_unique<net::StandardNic>(*nodes_[i], *network_, nic_cfg));
+      tcp_.push_back(
+          std::make_unique<proto::TcpStack>(*nodes_[i], *nics_[i], tcp_cfg));
+    }
+  }
+}
+
+}  // namespace acc::apps

@@ -1,0 +1,59 @@
+// Simulated-cluster assembly used by the application drivers: N nodes
+// around one switch, equipped either with standard NICs + TCP (the
+// baseline) or with INICs (the proposed architecture).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "inic/card.hpp"
+#include "model/calibration.hpp"
+#include "net/network.hpp"
+#include "net/nic.hpp"
+#include "proto/tcp.hpp"
+#include "sim/engine.hpp"
+
+namespace acc::apps {
+
+/// Which interconnect technology a cluster run uses (Figure 8's x axis
+/// families).
+enum class Interconnect {
+  kFastEthernetTcp,   // 100 Mb/s, standard NIC, TCP
+  kGigabitTcp,        // 1 Gb/s, standard NIC, TCP
+  kInicIdeal,         // 1 Gb/s, idealized INIC (Section 4)
+  kInicPrototype,     // 1 Gb/s, ACEII prototype INIC (Sections 5-6)
+};
+
+const char* to_string(Interconnect ic);
+bool is_inic(Interconnect ic);
+
+/// A fully wired simulated cluster.  Exactly one of (nics+tcp) / cards is
+/// populated, depending on the interconnect.
+class SimCluster {
+ public:
+  SimCluster(std::size_t n, Interconnect ic,
+             const model::Calibration& cal = model::default_calibration());
+
+  sim::Engine& engine() { return eng_; }
+  std::size_t size() const { return nodes_.size(); }
+  Interconnect interconnect() const { return ic_; }
+
+  hw::Node& node(std::size_t i) { return *nodes_.at(i); }
+  net::Network& network() { return *network_; }
+  proto::TcpStack& tcp(std::size_t i) { return *tcp_.at(i); }
+  inic::InicCard& card(std::size_t i) { return *cards_.at(i); }
+  const model::Calibration& calibration() const { return cal_; }
+
+ private:
+  sim::Engine eng_;
+  Interconnect ic_;
+  model::Calibration cal_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  std::vector<std::unique_ptr<net::StandardNic>> nics_;
+  std::vector<std::unique_ptr<proto::TcpStack>> tcp_;
+  std::vector<std::unique_ptr<inic::InicCard>> cards_;
+};
+
+}  // namespace acc::apps

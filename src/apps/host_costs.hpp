@@ -1,0 +1,54 @@
+// Host-side compute-time costing shared by the application drivers and
+// the analytic models.
+//
+// Each function returns the simulated duration of a host compute phase,
+// derived from the calibration constants and the memory-hierarchy model.
+// The application drivers charge these durations on the node CPU; the
+// analytic models (Section 4 reproduction) evaluate the same formulas
+// directly — keeping the two views of "what the host costs" identical.
+#pragma once
+
+#include <cstddef>
+
+#include "algo/fft.hpp"
+#include "common/units.hpp"
+#include "hw/memory.hpp"
+#include "model/calibration.hpp"
+
+namespace acc::apps {
+
+/// Time for one 1D FFT of a row of length n when the local slab working
+/// set is `slab_bytes`: the flop time at the sustained FFT rate plus the
+/// cost of streaming the row through the memory hierarchy.  The second
+/// term is what produces Figure 4(b)'s compute-curve steps when the
+/// partition drops into a faster cache level.
+inline Time fft_row_time(const model::Calibration& cal,
+                         const hw::MemoryHierarchy& mem, std::size_t n,
+                         Bytes slab_bytes) {
+  const Time flops = Time::seconds(algo::fft_flops(n) / (cal.host_fft_mflops * 1e6));
+  const Bytes row_bytes = Bytes(16 * n);  // complex double elements
+  return flops + mem.pass_time(row_bytes, slab_bytes);
+}
+
+/// Host time for the local-transpose (or final-permutation) pass over
+/// `bytes` of slab data: a strided read-write pass — two hierarchy passes
+/// (read + write) at the slab's working-set bandwidth, degraded by the
+/// strided-access penalty when the slab does not fit in cache.  On the
+/// ACC this entire cost disappears into the INIC's stream engines.
+inline Time transpose_pass_time(const hw::MemoryHierarchy& mem, Bytes bytes,
+                                Bytes working_set) {
+  return mem.strided_pass_time(bytes, working_set) * 2.0;
+}
+
+/// Host time for one bucket-sort distribution pass over `keys` keys.
+inline Time bucket_sort_time(const model::Calibration& cal, std::size_t keys) {
+  return cal.bucket_sort_per_key * static_cast<double>(keys);
+}
+
+/// Host time for count sorting `keys` keys already split into
+/// cache-resident buckets.
+inline Time count_sort_time(const model::Calibration& cal, std::size_t keys) {
+  return cal.count_sort_per_key * static_cast<double>(keys);
+}
+
+}  // namespace acc::apps

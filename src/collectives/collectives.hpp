@@ -1,0 +1,73 @@
+// Collective operations — the paper's named future-work target: "the
+// potential to accelerate functions ranging from collective operations
+// to MPI derived data types" (Section 8), enabled by the INIC's
+// protocol-processor mode (Section 2: "offering more features (such as
+// collective operations)").
+//
+// Every collective exists in two implementations:
+//
+//   * Host/TCP — the textbook MPI algorithms on the standard cluster:
+//     dissemination barrier, binomial-tree broadcast and reduce,
+//     reduce+broadcast allreduce, pairwise all-to-all.  Each tree hop
+//     pays the full TCP + interrupt receive path, and every combine
+//     costs host CPU time per element.
+//
+//   * INIC — the same logical trees run card-to-card: control messages
+//     never interrupt the host, and reduction arithmetic happens in the
+//     FPGA datapath as the operands stream through ("processing data as
+//     it passes through the device at zero cost"), so a reduce costs
+//     wire time only.
+//
+// All collectives move real data; results are verified against serial
+// references in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "common/units.hpp"
+
+namespace acc::coll {
+
+/// Timing and verification outcome of one collective run.
+struct CollectiveResult {
+  std::size_t processors = 0;
+  apps::Interconnect interconnect{};
+  Bytes payload = Bytes::zero();
+  /// Time from the first rank entering to the last rank leaving.
+  Time total = Time::zero();
+  bool verified = false;
+};
+
+/// Barrier: no data, pure synchronization (dissemination algorithm,
+/// ceil(log2 P) rounds).  Verification checks the barrier property: no
+/// rank leaves before every rank has entered.
+CollectiveResult barrier(apps::SimCluster& cluster);
+
+/// Broadcast `elements` doubles from rank 0 (binomial tree).
+CollectiveResult broadcast(apps::SimCluster& cluster, std::size_t elements,
+                           std::uint64_t seed = 1);
+
+/// Elementwise-sum reduce of `elements` doubles to rank 0 (binomial
+/// tree).  On the host path each combine charges CPU time per element;
+/// on the INIC the combine rides the stream for free.
+CollectiveResult reduce(apps::SimCluster& cluster, std::size_t elements,
+                        std::uint64_t seed = 2);
+
+/// Allreduce = reduce to rank 0 + broadcast.
+CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
+                           std::uint64_t seed = 3);
+
+/// Personalized all-to-all of `elements` doubles per pair.  Host path:
+/// serialized pairwise exchanges (MPI style); INIC path: concurrent
+/// credit-windowed streams.
+CollectiveResult alltoall(apps::SimCluster& cluster, std::size_t elements,
+                          std::uint64_t seed = 4);
+
+/// Host CPU cost of combining `elements` doubles (one flop each plus a
+/// memory pass), used by the host reduce path and exposed for tests.
+Time host_combine_time(apps::SimCluster& cluster, std::size_t node,
+                       std::size_t elements);
+
+}  // namespace acc::coll

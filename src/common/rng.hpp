@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All stochastic inputs in the repository (key generation, jitter, loss
+// injection in tests) flow through Rng so that every experiment is exactly
+// reproducible from its seed.  The engine is xoshiro256**, which is small,
+// fast, and has no measurable bias for the uses here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace acc {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initializes state from a 64-bit seed via splitmix64 so that
+  /// closely-spaced seeds yield uncorrelated streams.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform in [0, bound).  Uses Lemire's multiply-shift rejection method
+  /// to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform 32-bit key, the paper's synthetic sort input.
+  std::uint32_t key32() { return static_cast<std::uint32_t>((*this)() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace acc

@@ -1,0 +1,124 @@
+// Small statistics accumulators used by the simulator and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace acc {
+
+/// Streaming count/mean/min/max/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant quantity (queue depths,
+/// busy flags).  Call set() at every change; finalize by reading at end.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double initial = 0.0) : value_(initial) {}
+
+  void set(Time now, double value) {
+    assert(now >= last_);
+    integral_ += value_ * (now - last_).as_seconds();
+    peak_ = std::max(peak_, value);
+    last_ = now;
+    value_ = value;
+  }
+
+  void add(Time now, double delta) { set(now, value_ + delta); }
+
+  double current() const { return value_; }
+  double peak() const { return std::max(peak_, value_); }
+
+  /// Average over [0, now].
+  double average(Time now) const {
+    if (now == Time::zero()) return value_;
+    const double total =
+        integral_ + value_ * (now - last_).as_seconds();
+    return total / now.as_seconds();
+  }
+
+ private:
+  Time last_ = Time::zero();
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Fixed-boundary histogram for latency/size distributions.
+class Histogram {
+ public:
+  /// Buckets: (-inf,b0], (b0,b1], ..., (b_{n-1}, +inf).
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+    counts_.assign(bounds_.size() + 1, 0);
+  }
+
+  void add(double x) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+
+  /// Smallest boundary b with cumulative fraction >= q; +inf if in the
+  /// overflow bucket.
+  double quantile_bound(double q) const {
+    assert(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i];
+      if (cum >= target) {
+        return i < bounds_.size() ? bounds_[i]
+                                  : std::numeric_limits<double>::infinity();
+      }
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace acc

@@ -1,0 +1,91 @@
+// Plain-text table printer used by the figure-reproduction benches.
+//
+// Every bench emits the same series the paper plots as an aligned text
+// table (one row per x value, one column per series) so the output can be
+// diffed, plotted, or pasted into EXPERIMENTS.md directly.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace acc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; subsequent add() calls fill its cells left-to-right.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& add(const std::string& cell) {
+    rows_.back().push_back(cell);
+    return *this;
+  }
+
+  Table& add(double value, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return add(os.str());
+  }
+
+  Table& add(std::int64_t value) { return add(std::to_string(value)); }
+  Table& add(int value) { return add(std::to_string(value)); }
+  Table& add(std::uint64_t value) { return add(std::to_string(value)); }
+
+  /// Marks a cell as absent (printed as "-"), e.g. a series not defined at
+  /// this x value.
+  Table& skip() { return add(std::string("-")); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "  ";
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) {
+      print_row(os, row, widths);
+    }
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the "== Figure N ==" banner benches use so bench_output.txt is
+/// self-describing.
+inline void print_banner(const std::string& title,
+                         std::ostream& os = std::cout) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace acc

@@ -1,0 +1,50 @@
+#include "common/units.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace acc {
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  const std::int64_t ns = t.as_nanos();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  std::ostringstream tmp;
+  tmp << std::fixed;
+  if (abs_ns < 10'000) {
+    tmp << ns << " ns";
+  } else if (abs_ns < 10'000'000) {
+    tmp << std::setprecision(2) << t.as_micros() << " us";
+  } else if (abs_ns < 10'000'000'000) {
+    tmp << std::setprecision(3) << t.as_millis() << " ms";
+  } else {
+    tmp << std::setprecision(3) << t.as_seconds() << " s";
+  }
+  return os << tmp.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  std::ostringstream tmp;
+  tmp << std::fixed;
+  if (b.count() < 10 * 1024) {
+    tmp << b.count() << " B";
+  } else if (b.count() < 10 * 1024 * 1024) {
+    tmp << std::setprecision(1) << b.as_kib() << " KiB";
+  } else {
+    tmp << std::setprecision(1) << b.as_mib() << " MiB";
+  }
+  return os << tmp.str();
+}
+
+std::string to_string(Time t) {
+  std::ostringstream os;
+  os << t;
+  return os.str();
+}
+
+std::string to_string(Bytes b) {
+  std::ostringstream os;
+  os << b;
+  return os.str();
+}
+
+}  // namespace acc

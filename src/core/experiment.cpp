@@ -1,0 +1,62 @@
+#include "core/experiment.hpp"
+
+namespace acc::core {
+
+std::vector<std::size_t> paper_processor_counts(bool power_of_two_only) {
+  if (power_of_two_only) return {1, 2, 4, 8, 16};
+  return {1, 2, 4, 8, 16};  // FFT additionally needs P | n; see callers.
+}
+
+std::vector<SpeedupPoint> fft_speedup_series(
+    apps::Interconnect ic, std::size_t n,
+    const std::vector<std::size_t>& processors,
+    const model::Calibration& cal) {
+  const Time serial = apps::run_serial_fft(cal, n).total;
+  std::vector<SpeedupPoint> series;
+  series.reserve(processors.size());
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  for (std::size_t p : processors) {
+    apps::SimCluster cluster(p, ic, cal);
+    const auto result = run_parallel_fft(cluster, n, opts);
+    series.push_back(SpeedupPoint{p, result.total, serial / result.total});
+  }
+  return series;
+}
+
+std::vector<SpeedupPoint> sort_speedup_series(
+    apps::Interconnect ic, std::size_t total_keys,
+    const std::vector<std::size_t>& processors,
+    const model::Calibration& cal) {
+  const Time serial = apps::run_serial_sort(cal, total_keys).total;
+  std::vector<SpeedupPoint> series;
+  series.reserve(processors.size());
+  apps::SortRunOptions opts;
+  opts.verify = false;
+  for (std::size_t p : processors) {
+    apps::SimCluster cluster(p, ic, cal);
+    const auto result = run_parallel_sort(cluster, total_keys, opts);
+    series.push_back(SpeedupPoint{p, result.total, serial / result.total});
+  }
+  return series;
+}
+
+apps::FftRunResult fft_point(apps::Interconnect ic, std::size_t n,
+                             std::size_t processors,
+                             const model::Calibration& cal) {
+  apps::SimCluster cluster(processors, ic, cal);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  return run_parallel_fft(cluster, n, opts);
+}
+
+apps::SortRunResult sort_point(apps::Interconnect ic, std::size_t total_keys,
+                               std::size_t processors,
+                               const model::Calibration& cal) {
+  apps::SimCluster cluster(processors, ic, cal);
+  apps::SortRunOptions opts;
+  opts.verify = false;
+  return run_parallel_sort(cluster, total_keys, opts);
+}
+
+}  // namespace acc::core

@@ -1,0 +1,52 @@
+// High-level experiment runners: one call produces the series a paper
+// figure plots (speedups or phase breakdowns across processor counts).
+// Benches and examples are thin wrappers around these.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "apps/fft_app.hpp"
+#include "apps/sort_app.hpp"
+#include "common/units.hpp"
+#include "model/calibration.hpp"
+
+namespace acc::core {
+
+struct SpeedupPoint {
+  std::size_t processors = 0;
+  Time total = Time::zero();
+  double speedup = 1.0;
+};
+
+/// Processor counts used throughout the paper's figures (1..16).
+std::vector<std::size_t> paper_processor_counts(bool power_of_two_only);
+
+/// Runs the simulated 2D-FFT across processor counts on one interconnect
+/// and returns speedups relative to the serial reference.
+std::vector<SpeedupPoint> fft_speedup_series(
+    apps::Interconnect ic, std::size_t n,
+    const std::vector<std::size_t>& processors,
+    const model::Calibration& cal = model::default_calibration());
+
+/// Runs the simulated integer sort across processor counts (power-of-two
+/// only, per Section 3.2.1) on one interconnect.
+std::vector<SpeedupPoint> sort_speedup_series(
+    apps::Interconnect ic, std::size_t total_keys,
+    const std::vector<std::size_t>& processors,
+    const model::Calibration& cal = model::default_calibration());
+
+/// Full per-phase FFT run at a single (n, P) point.
+apps::FftRunResult fft_point(apps::Interconnect ic, std::size_t n,
+                             std::size_t processors,
+                             const model::Calibration& cal =
+                                 model::default_calibration());
+
+/// Full per-phase sort run at a single (keys, P) point.
+apps::SortRunResult sort_point(apps::Interconnect ic, std::size_t total_keys,
+                               std::size_t processors,
+                               const model::Calibration& cal =
+                                   model::default_calibration());
+
+}  // namespace acc::core

@@ -1,0 +1,112 @@
+#include "dtype/datatype.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace acc::dtype {
+
+Datatype::Datatype(std::vector<Block> blocks) : blocks_(std::move(blocks)) {
+  std::uint64_t packed = 0;
+  for (const Block& b : blocks_) {
+    if (b.length == 0) {
+      throw std::invalid_argument("Datatype: zero-length block");
+    }
+    packed += b.length;
+    extent_ = std::max(extent_, b.offset + b.length);
+  }
+  packed_ = Bytes(packed);
+
+  // Reject overlapping blocks: packing would duplicate bytes and unpack
+  // would be ambiguous.
+  std::vector<Block> sorted = blocks_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Block& a, const Block& b) { return a.offset < b.offset; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].offset < sorted[i - 1].offset + sorted[i - 1].length) {
+      throw std::invalid_argument("Datatype: overlapping blocks");
+    }
+  }
+}
+
+Datatype Datatype::contiguous(std::size_t bytes) {
+  return Datatype({Block{0, bytes}});
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t block_length,
+                          std::size_t stride) {
+  if (stride < block_length) {
+    throw std::invalid_argument("Datatype::vector: stride < block_length");
+  }
+  std::vector<Block> blocks;
+  blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    blocks.push_back(Block{i * stride, block_length});
+  }
+  return Datatype(std::move(blocks));
+}
+
+Datatype Datatype::indexed(std::vector<Block> blocks) {
+  return Datatype(std::move(blocks));
+}
+
+bool Datatype::is_contiguous() const {
+  if (blocks_.size() == 1) return true;
+  std::vector<Block> sorted = blocks_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Block& a, const Block& b) { return a.offset < b.offset; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].offset != sorted[i - 1].offset + sorted[i - 1].length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> pack(const std::vector<std::uint8_t>& source,
+                               const Datatype& type) {
+  if (source.size() < type.extent()) {
+    throw std::out_of_range("pack: source smaller than datatype extent");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(type.packed_size().count());
+  for (const Block& b : type.blocks()) {
+    out.insert(out.end(), source.begin() + static_cast<std::ptrdiff_t>(b.offset),
+               source.begin() + static_cast<std::ptrdiff_t>(b.offset + b.length));
+  }
+  return out;
+}
+
+void unpack(const std::vector<std::uint8_t>& packed, const Datatype& type,
+            std::vector<std::uint8_t>& target) {
+  if (packed.size() != type.packed_size().count()) {
+    throw std::invalid_argument("unpack: packed size mismatch");
+  }
+  if (target.size() < type.extent()) {
+    throw std::out_of_range("unpack: target smaller than datatype extent");
+  }
+  std::size_t pos = 0;
+  for (const Block& b : type.blocks()) {
+    std::memcpy(target.data() + b.offset, packed.data() + pos, b.length);
+    pos += b.length;
+  }
+}
+
+Time host_pack_time(const hw::MemoryHierarchy& mem, const Datatype& type,
+                    Time per_block_overhead) {
+  const Bytes payload = type.packed_size();
+  const Bytes working_set = Bytes(type.extent());
+  const Time data_time =
+      type.is_contiguous()
+          ? mem.pass_time(payload, working_set) * 2.0
+          : mem.strided_pass_time(payload, working_set) * 2.0;
+  return data_time +
+         per_block_overhead * static_cast<double>(type.block_count());
+}
+
+Datatype matrix_column(std::size_t rows, std::size_t cols, std::size_t elem) {
+  return Datatype::vector(rows, elem, cols * elem);
+}
+
+}  // namespace acc::dtype

@@ -1,0 +1,89 @@
+// MPI-style derived datatypes — the paper's second named extension
+// target ("the potential to accelerate functions ranging from collective
+// operations to MPI derived data types", Section 8).
+//
+// A Datatype describes a non-contiguous memory layout (contiguous run,
+// strided vector, explicit indexed blocks).  Sending one means
+// *packing*: gathering the described bytes into a contiguous wire
+// stream.  On the host this is a strided memory pass plus per-block
+// software overhead; on the INIC an FPGA address generator gathers
+// blocks at stream rate while the data is DMA'd — the same
+// embed-the-manipulation-in-the-communication move as the transpose.
+//
+// The functional layer here (describe / pack / unpack) is real and
+// tested; the cost layer exposes host pack time for the models and the
+// datatype bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/memory.hpp"
+
+namespace acc::dtype {
+
+/// One contiguous block of a datatype: `offset` bytes from the start of
+/// the buffer, `length` bytes long.
+struct Block {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+class Datatype {
+ public:
+  /// A single contiguous run of `bytes`.
+  static Datatype contiguous(std::size_t bytes);
+
+  /// MPI_Type_vector: `count` blocks of `block_length` bytes, the start
+  /// of consecutive blocks `stride` bytes apart (stride >= block_length).
+  static Datatype vector(std::size_t count, std::size_t block_length,
+                         std::size_t stride);
+
+  /// MPI_Type_indexed: explicit blocks (offsets need not be sorted but
+  /// must not overlap).
+  static Datatype indexed(std::vector<Block> blocks);
+
+  /// Total payload bytes the datatype describes (the packed size).
+  Bytes packed_size() const { return packed_; }
+
+  /// Span of the layout in the source buffer: max(offset + length).
+  std::size_t extent() const { return extent_; }
+
+  std::size_t block_count() const { return blocks_.size(); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// True when the layout is one contiguous run (no gather needed).
+  bool is_contiguous() const;
+
+ private:
+  explicit Datatype(std::vector<Block> blocks);
+
+  std::vector<Block> blocks_;
+  Bytes packed_ = Bytes::zero();
+  std::size_t extent_ = 0;
+};
+
+/// Gathers the datatype's bytes from `source` into a contiguous buffer.
+/// source.size() must be >= type.extent().
+std::vector<std::uint8_t> pack(const std::vector<std::uint8_t>& source,
+                               const Datatype& type);
+
+/// Scatters a packed buffer back into `target` at the datatype's
+/// layout.  packed.size() must equal type.packed_size().
+void unpack(const std::vector<std::uint8_t>& packed, const Datatype& type,
+            std::vector<std::uint8_t>& target);
+
+/// Host CPU time to pack (or unpack) the datatype: per-block software
+/// overhead (loop/descriptor handling) plus a read+write pass over the
+/// payload at the buffer's working-set bandwidth, strided when the
+/// layout is non-contiguous.
+Time host_pack_time(const hw::MemoryHierarchy& mem, const Datatype& type,
+                    Time per_block_overhead = Time::nanos(60));
+
+/// Convenience: the column datatype of a row-major rows x cols matrix of
+/// `elem` -byte elements — the layout the FFT transpose gathers.
+Datatype matrix_column(std::size_t rows, std::size_t cols, std::size_t elem);
+
+}  // namespace acc::dtype

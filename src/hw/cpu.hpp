@@ -1,0 +1,83 @@
+// Host CPU model: a serial execution resource with busy/idle accounting.
+//
+// Application phases occupy the CPU for durations derived from the cost
+// model; interrupt service steals additional occupancy.  The CPU is a
+// FifoResource, so concurrent demands (application compute vs. the TCP
+// stack's per-packet work) serialize the way a single 1 GHz Athlon would.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "hw/memory.hpp"
+#include "sim/resource.hpp"
+
+namespace acc::hw {
+
+struct CpuConfig {
+  /// Sustained double-precision rate for FFT-like inner loops (Mflop/s).
+  double fft_mflops = 200.0;
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Engine& eng, const CpuConfig& cfg, const MemoryConfig& mem_cfg)
+      : exec_(eng, Bandwidth::mib_per_sec(1.0), "cpu"),
+        cfg_(cfg),
+        memory_(mem_cfg) {}
+
+  /// Awaitable: occupies the CPU for `duration` of work, queued FCFS
+  /// behind anything already running.
+  sim::DelayUntil compute(Time duration) {
+    compute_time_ += duration;
+    return exec_.occupy(duration);
+  }
+
+  /// Awaitable: floating-point kernel of `flops` operations.
+  sim::DelayUntil compute_flops(double flops) {
+    return compute(flops_time(flops));
+  }
+
+  /// Awaitable: memory-bound pass over `amount` bytes with working set
+  /// `working_set` (uses the hierarchy model).
+  sim::DelayUntil memory_pass(Bytes amount, Bytes working_set) {
+    return compute(memory_.pass_time(amount, working_set));
+  }
+
+  /// Charges interrupt service time (called by the interrupt controller).
+  /// Returns the time the service will complete.
+  Time charge_interrupt(Time service) {
+    ++interrupts_;
+    interrupt_time_ += service;
+    return exec_.enqueue_duration(service);
+  }
+
+  /// Charges per-packet protocol-stack work without suspending the caller
+  /// (the NIC model accounts it; the app feels it as CPU contention).
+  Time charge_protocol_work(Time work) {
+    protocol_time_ += work;
+    return exec_.enqueue_duration(work);
+  }
+
+  Time flops_time(double flops) const {
+    return Time::seconds(flops / (cfg_.fft_mflops * 1e6));
+  }
+
+  const MemoryHierarchy& memory() const { return memory_; }
+  double utilization() const { return exec_.utilization(); }
+  std::uint64_t interrupts_serviced() const { return interrupts_; }
+  Time total_compute_time() const { return compute_time_; }
+  Time total_interrupt_time() const { return interrupt_time_; }
+  Time total_protocol_time() const { return protocol_time_; }
+
+ private:
+  sim::FifoResource exec_;
+  CpuConfig cfg_;
+  MemoryHierarchy memory_;
+  std::uint64_t interrupts_ = 0;
+  Time compute_time_ = Time::zero();
+  Time interrupt_time_ = Time::zero();
+  Time protocol_time_ = Time::zero();
+};
+
+}  // namespace acc::hw

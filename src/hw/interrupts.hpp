@@ -1,0 +1,90 @@
+// Interrupt mitigation (coalescing) model.
+//
+// Section 4.1: "high speed network interfaces typically use some form of
+// interrupt mitigation — based on a time-out or number of messages
+// received ... it interacts poorly with TCP slow-start for short
+// messages."  The coalescer batches frame-arrival notifications: an
+// interrupt fires when either `max_frames` are pending or `timeout` has
+// elapsed since the first pending frame.  Each interrupt charges service
+// time on the host CPU, and the batched frames are only delivered to the
+// host when that service completes — which is precisely the added latency
+// that stalls TCP's ACK clock on short transfers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+#include "hw/cpu.hpp"
+#include "sim/engine.hpp"
+
+namespace acc::hw {
+
+struct InterruptConfig {
+  std::size_t max_frames = 16;
+  Time timeout = Time::micros(120.0);
+  Time service_cost = Time::micros(12.0);
+};
+
+class InterruptCoalescer {
+ public:
+  /// `deliver` runs when an interrupt's CPU service completes, with the
+  /// number of frames the interrupt covered.
+  InterruptCoalescer(sim::Engine& eng, Cpu& cpu, const InterruptConfig& cfg,
+                     std::function<void(std::size_t)> deliver)
+      : eng_(eng), cpu_(cpu), cfg_(cfg), deliver_(std::move(deliver)) {}
+
+  /// Signals one received frame.  May fire an interrupt immediately
+  /// (count threshold) or arm the timeout.
+  void notify_frame() { notify_frames(1); }
+
+  /// Signals `n` received frames at once (a burst).
+  void notify_frames(std::size_t n) {
+    if (n == 0) return;
+    if (pending_ == 0) {
+      arm_timeout();
+    }
+    pending_ += n;
+    while (pending_ >= cfg_.max_frames) {
+      fire_batch(cfg_.max_frames);
+    }
+  }
+
+  std::uint64_t interrupts_fired() const { return fired_; }
+  std::size_t pending() const { return pending_; }
+  const InterruptConfig& config() const { return cfg_; }
+
+ private:
+  void arm_timeout() {
+    const std::uint64_t generation = ++timeout_generation_;
+    eng_.schedule(cfg_.timeout, [this, generation] {
+      // A count-triggered interrupt in the meantime invalidates the timer.
+      if (generation == timeout_generation_ && pending_ > 0) {
+        fire();
+      }
+    });
+  }
+
+  void fire() { fire_batch(pending_); }
+
+  void fire_batch(std::size_t batch) {
+    assert(batch <= pending_);
+    pending_ -= batch;
+    ++timeout_generation_;  // cancel any armed timeout
+    if (pending_ > 0) arm_timeout();  // leftovers start a fresh window
+    ++fired_;
+    const Time done = cpu_.charge_interrupt(cfg_.service_cost);
+    eng_.schedule_at(done, [this, batch] { deliver_(batch); });
+  }
+
+  sim::Engine& eng_;
+  Cpu& cpu_;
+  InterruptConfig cfg_;
+  std::function<void(std::size_t)> deliver_;
+  std::size_t pending_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t timeout_generation_ = 0;
+};
+
+}  // namespace acc::hw

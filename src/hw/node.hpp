@@ -1,0 +1,53 @@
+// A cluster node: CPU + memory hierarchy + shared PCI bus + DMA engine.
+//
+// Matches the prototype of Section 5: "a 32-bit PCI motherboard with a
+// 1 GHz Athlon and 512 MB of RAM"; every device (standard NIC or INIC)
+// reaches host memory across the single PCI bus, so NIC DMA and INIC DMA
+// contend here exactly as the paper discusses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "hw/cpu.hpp"
+#include "hw/dma.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace acc::hw {
+
+struct NodeConfig {
+  CpuConfig cpu{};
+  MemoryConfig memory{};
+  Bandwidth pci_bandwidth = Bandwidth::mib_per_sec(132.0);
+  DmaConfig dma{};
+};
+
+class Node {
+ public:
+  Node(sim::Engine& eng, int id, const NodeConfig& cfg = {})
+      : id_(id),
+        eng_(eng),
+        cpu_(eng, cfg.cpu, cfg.memory),
+        pci_(eng, cfg.pci_bandwidth, "pci-node" + std::to_string(id)),
+        dma_(pci_, cfg.dma) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  sim::Engine& engine() { return eng_; }
+  Cpu& cpu() { return cpu_; }
+  sim::FifoResource& pci_bus() { return pci_; }
+  DmaEngine& dma() { return dma_; }
+
+ private:
+  int id_;
+  sim::Engine& eng_;
+  Cpu cpu_;
+  sim::FifoResource pci_;
+  DmaEngine dma_;
+};
+
+}  // namespace acc::hw

@@ -1,0 +1,328 @@
+#include "inic/card.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace acc::inic {
+
+namespace {
+
+std::uint64_t stream_key(int src, std::uint32_t msg_id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         msg_id;
+}
+
+}  // namespace
+
+InicCard::InicCard(hw::Node& node, net::Network& network,
+                   const InicConfig& cfg)
+    : node_(node),
+      network_(network),
+      cfg_(cfg),
+      host_dma_(node.engine(), cfg.host_dma_rate,
+                "inic-hostdma-" + std::to_string(node.id())),
+      net_tx_(node.engine(),
+              std::min(cfg.net_rate, network.line_rate()),
+              "inic-tx-" + std::to_string(node.id())),
+      net_rx_(node.engine(),
+              std::min(cfg.net_rate, network.line_rate()),
+              "inic-rx-" + std::to_string(node.id())),
+      card_inbox_(node.engine()) {
+  if (cfg_.shared_card_bus) {
+    card_bus_ = std::make_unique<sim::FifoResource>(
+        node.engine(), cfg_.card_bus_rate,
+        "inic-bus-" + std::to_string(node.id()));
+  }
+  network_.attach(node.id(), *this);
+}
+
+Time InicCard::book_stage(sim::FifoResource& stage, Bytes size) {
+  const Time stage_done = stage.enqueue(size);
+  if (!card_bus_) return stage_done;
+  // Prototype: the same bytes also cross the single on-card bus; the
+  // transfer completes only when both the stage and the bus are done.
+  const Time bus_done = card_bus_->enqueue(size);
+  return std::max(stage_done, bus_done);
+}
+
+sim::Semaphore& InicCard::credits_for(int dst) {
+  auto& slot = credits_[dst];
+  if (!slot) {
+    slot = std::make_unique<sim::Semaphore>(node_.engine(), cfg_.credit_bursts);
+  }
+  return *slot;
+}
+
+sim::Process InicCard::send_stream(int dst, Bytes size, std::uint64_t tag,
+                                   std::any payload) {
+  if (dst == node_.id()) {
+    throw std::invalid_argument("InicCard::send_stream: dst is self");
+  }
+  // Zero-length messages still travel as one header packet so the
+  // receiver can complete them (empty bucket in a skewed all-to-all).
+  if (size.count() == 0) size = Bytes(1);
+  sim::Engine& eng = node_.engine();
+
+  // The FPGA transform is applied to the stream as it crosses the card —
+  // functionally once, up front, so the receiver sees transformed data.
+  std::any transformed =
+      send_transform_ ? send_transform_(std::move(payload)) : std::move(payload);
+
+  const std::uint32_t msg_id = static_cast<std::uint32_t>(next_msg_id_++);
+  auto header = std::make_shared<MsgHeader>(MsgHeader{
+      msg_id, tag, size.count(), std::move(transformed), eng.now()});
+
+  sim::Semaphore& credits = credits_for(dst);
+  std::uint64_t remaining = size.count();
+  std::uint64_t seq = 0;
+  Time last_tx_done = eng.now();
+  bool first = true;
+  while (remaining > 0) {
+    const std::uint64_t burst =
+        std::min<std::uint64_t>(remaining, cfg_.burst.count());
+    // Stage 1: host -> card memory (booked immediately; the card's
+    // memory buffers ahead of the transmitter).
+    const Time in_card = book_stage(host_dma_, Bytes(burst));
+
+    // Flow control: one credit per burst in flight to this destination.
+    co_await credits.acquire();
+
+    const std::size_t packets =
+        (burst + cfg_.packet.count() - 1) / cfg_.packet.count();
+    net::Frame frame;
+    frame.src = node_.id();
+    frame.dst = dst;
+    frame.payload = Bytes(burst);
+    frame.wire = net::burst_wire_size(Bytes(burst), packets,
+                                      cfg_.per_packet_overhead);
+    frame.packet_count = packets;
+    frame.flow = msg_id;
+    frame.kind = net::FrameKind::kData;
+    frame.seq = seq;
+    if (first) frame.context = header;
+    first = false;
+
+    // Stage 2: card memory -> MAC, not before the data is on the card.
+    const Time tx_done = transmit_burst(frame, in_card + cfg_.card_latency);
+    ++bursts_sent_;
+    track_outstanding(dst, frame);
+
+    seq += burst;
+    remaining -= burst;
+    last_tx_done = tx_done;
+  }
+  // Completion: the last burst has fully left the card.
+  co_await sim::DelayUntil{eng, last_tx_done};
+}
+
+Time InicCard::transmit_burst(const net::Frame& frame, Time not_before) {
+  sim::Engine& eng = node_.engine();
+  const Time packet_time =
+      transfer_time(cfg_.packet + cfg_.per_packet_overhead, net_tx_.rate());
+  const Time tx_done =
+      card_bus_ ? std::max(net_tx_.enqueue_after(not_before, frame.wire),
+                           card_bus_->enqueue_after(not_before, frame.wire))
+                : net_tx_.enqueue_after(not_before, frame.wire);
+  // Cut-through into the fabric after the first packet.
+  Time inject_at =
+      tx_done - transfer_time(frame.wire, net_tx_.rate()) + packet_time;
+  if (inject_at < eng.now()) inject_at = eng.now();
+  eng.schedule_at(inject_at, [this, frame] { network_.inject(frame); });
+  return tx_done;
+}
+
+void InicCard::track_outstanding(int dst, const net::Frame& frame) {
+  auto& queue = outstanding_[dst];
+  queue.push_back(OutstandingBurst{frame, node_.engine().now()});
+  if (cfg_.hw_retransmit && queue.size() == 1) {
+    arm_retransmit_timer(dst);
+  }
+}
+
+void InicCard::arm_retransmit_timer(int dst) {
+  const std::uint64_t generation = ++retransmit_generation_[dst];
+  node_.engine().schedule(cfg_.retransmit_timeout, [this, dst, generation] {
+    check_retransmit(dst, generation);
+  });
+}
+
+void InicCard::check_retransmit(int dst, std::uint64_t generation) {
+  if (generation != retransmit_generation_[dst]) return;  // superseded
+  auto it = outstanding_.find(dst);
+  if (it == outstanding_.end() || it->second.empty()) return;
+  sim::Engine& eng = node_.engine();
+  const OutstandingBurst& front = it->second.front();
+  if (eng.now() - front.sent_at < cfg_.retransmit_timeout) {
+    // Credit progress happened since the timer was armed; re-check later.
+    arm_retransmit_timer(dst);
+    return;
+  }
+  // Go-back-N: resend every outstanding burst to this destination in
+  // order, refreshing their timestamps.
+  for (OutstandingBurst& burst : it->second) {
+    transmit_burst(burst.frame, eng.now() + cfg_.card_latency);
+    burst.sent_at = eng.now();
+    ++retransmits_;
+  }
+  arm_retransmit_timer(dst);
+}
+
+void InicCard::deliver(const net::Frame& frame) {
+  sim::Engine& eng = node_.engine();
+
+  if (frame.kind == net::FrameKind::kControl) {
+    // Credit return, generated and consumed entirely in hardware.  A
+    // credit acknowledges the oldest outstanding burst to that peer;
+    // spurious credits (a duplicate burst re-credited after the original
+    // credit already arrived) are ignored so the window cannot inflate.
+    auto it = outstanding_.find(frame.src);
+    if (it == outstanding_.end() || it->second.empty()) return;
+    it->second.pop_front();
+    ++credits_received_;
+    credits_for(frame.src).release();
+    if (cfg_.hw_retransmit && !it->second.empty()) {
+      arm_retransmit_timer(frame.src);
+    }
+    return;
+  }
+  assert(frame.kind == net::FrameKind::kData);
+
+  // Ingest at the card's network rate (plus the shared bus, prototype).
+  const Time ingested = book_stage(net_rx_, frame.wire) + cfg_.card_latency;
+
+  eng.schedule_at(ingested, [this, frame] {
+    const std::uint64_t key = stream_key(frame.src, frame.flow);
+    InboundStream& stream = inbound_[key];
+
+    if (frame.context && !stream.started) {
+      auto header = std::static_pointer_cast<MsgHeader>(frame.context);
+      stream.started = true;
+      stream.remaining = header->total_bytes;
+      stream.next_seq = 0;
+      stream.assembling = proto::Message{};
+      stream.assembling.src = frame.src;
+      stream.assembling.dst = node_.id();
+      stream.assembling.id = header->msg_id;
+      stream.assembling.tag = header->tag;
+      stream.assembling.size = Bytes(header->total_bytes);
+      stream.assembling.payload = header->payload;
+      stream.assembling.sent_at = header->sent_at;
+    }
+
+    if (!stream.started || frame.seq > stream.next_seq) {
+      // Gap: an earlier burst (possibly the header) was lost.  Drop
+      // without credit; the sender's go-back-N resends from the gap.
+      if (!stream.started) inbound_.erase(key);
+      ++duplicates_dropped_;
+      return;
+    }
+    if (frame.seq < stream.next_seq) {
+      // Duplicate of an already-consumed burst (its credit was lost):
+      // re-credit but do not consume.
+      ++duplicates_dropped_;
+      send_credit(frame.src);
+      return;
+    }
+
+    // In-order burst: consume and credit.
+    send_credit(frame.src);
+    assert(stream.remaining >= frame.payload.count());
+    stream.next_seq += frame.payload.count();
+    stream.remaining -= frame.payload.count();
+    if (stream.remaining == 0) {
+      proto::Message msg = std::move(stream.assembling);
+      inbound_.erase(key);
+      if (recv_transform_) {
+        msg.payload = recv_transform_(std::move(msg.payload));
+      }
+      msg.delivered_at = node_.engine().now();
+      card_inbox_.send_now(std::move(msg));
+    }
+  });
+}
+
+void InicCard::send_credit(int dst) {
+  net::Frame credit;
+  credit.src = node_.id();
+  credit.dst = dst;
+  credit.payload = Bytes::zero();
+  credit.wire = Bytes(84);  // minimum Ethernet frame + framing overhead
+  credit.packet_count = 1;
+  credit.kind = net::FrameKind::kControl;
+  // Control frames slot into the transmit stream like any other packet.
+  const Time tx_done = book_stage(net_tx_, credit.wire);
+  node_.engine().schedule_at(tx_done + cfg_.card_latency,
+                             [this, credit] { network_.inject(credit); });
+}
+
+sim::Process InicCard::compute_offload(Bytes data, Bandwidth kernel_rate,
+                                       std::any* payload,
+                                       const Transform& kernel_fn) {
+  sim::Engine& eng = node_.engine();
+  Time in_done, out_done;
+  if (card_bus_) {
+    // Prototype: no separate path — both directions cross the shared
+    // card bus alongside any network traffic.
+    in_done = book_stage(host_dma_, data);
+    out_done = book_stage(host_dma_, data);
+  } else {
+    // Ideal card: a dedicated host-memory path for the accelerator.
+    if (!offload_path_) {
+      offload_path_ = std::make_unique<sim::FifoResource>(
+          eng, cfg_.host_dma_rate,
+          "inic-offload-" + std::to_string(node_.id()));
+    }
+    in_done = offload_path_->enqueue(data);
+    out_done = offload_path_->enqueue(data);
+  }
+  // The kernel pipelines with the transfers (cut-through); it only
+  // extends the critical path when slower than the memory path.
+  const Time kernel_done =
+      in_done - transfer_time(data, cfg_.host_dma_rate) +
+      transfer_time(data, kernel_rate) + cfg_.card_latency;
+  const Time done = std::max({in_done, kernel_done, out_done});
+
+  if (payload && kernel_fn) {
+    *payload = kernel_fn(std::move(*payload));
+  }
+  co_await sim::DelayUntil{eng, std::max(done, eng.now())};
+}
+
+sim::Process InicCard::dma_to_host(Bytes size) {
+  const Time done = book_stage(host_dma_, size);
+  bytes_to_host_ += size;
+  co_await sim::DelayUntil{node_.engine(), done};
+}
+
+sim::Process InicCard::dma_from_host(Bytes size) {
+  const Time done = book_stage(host_dma_, size);
+  co_await sim::DelayUntil{node_.engine(), done};
+}
+
+void InicCard::accumulate_for_host(std::size_t bucket, Bytes amount) {
+  Bytes& acc = bucket_accumulated_[bucket];
+  acc += amount;
+  while (acc >= cfg_.host_delivery_threshold) {
+    acc -= cfg_.host_delivery_threshold;
+    const Time done = book_stage(host_dma_, cfg_.host_delivery_threshold);
+    bytes_to_host_ += cfg_.host_delivery_threshold;
+    if (done > last_host_delivery_) last_host_delivery_ = done;
+  }
+}
+
+sim::Process InicCard::flush_to_host() {
+  for (auto& [bucket, acc] : bucket_accumulated_) {
+    if (acc > Bytes::zero()) {
+      const Time done = book_stage(host_dma_, acc);
+      bytes_to_host_ += acc;
+      if (done > last_host_delivery_) last_host_delivery_ = done;
+      acc = Bytes::zero();
+    }
+  }
+  const Time target = std::max(last_host_delivery_, node_.engine().now());
+  co_await sim::DelayUntil{node_.engine(), target};
+}
+
+}  // namespace acc::inic

@@ -1,0 +1,197 @@
+// The Intelligent NIC (INIC) device model — the paper's contribution.
+//
+// An InicCard is a network endpoint whose datapath is an FPGA pipeline
+// between host memory and the wire (Figure 1b).  What makes it different
+// from the StandardNic baseline:
+//
+//   * no interrupts: the FPGAs react to the MAC directly ("the virtual
+//     elimination of interrupts from the communication path"), so
+//     arriving data never waits on coalescing timers or host interrupt
+//     service;
+//   * application-specific protocol: sender-known transfer sizes, credit
+//     (minimal-acknowledgement) flow control generated on the card, and
+//     1024-byte packets on raw Ethernet — no slow start, no per-packet
+//     host CPU cost;
+//   * in-stream computation: a configurable transform is applied to each
+//     message's payload as it flows through the card (local transpose,
+//     bucket sort), "at zero cost" to the stream rate;
+//   * rate structure from the paper's measurements: 80 MB/s host<->card,
+//     90 MB/s card<->net, optionally all multiplexed over the ACEII's
+//     single 132 MB/s on-card bus (prototype mode).
+//
+// Every stage charges its FIFO resource in full (contention) but hands
+// off cut-through (latency), like the rest of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/node.hpp"
+#include "inic/config.hpp"
+#include "net/frame.hpp"
+#include "net/network.hpp"
+#include "proto/message.hpp"
+#include "sim/channel.hpp"
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+
+namespace acc::inic {
+
+class InicCard : public net::Endpoint {
+ public:
+  /// Transform applied by the FPGA to a message payload in-stream.
+  using Transform = std::function<std::any(std::any)>;
+
+  InicCard(hw::Node& node, net::Network& network, const InicConfig& cfg);
+
+  // ------------------------------------------------------------------
+  // Send side
+  // ------------------------------------------------------------------
+
+  /// Streams `size` bytes from host memory through the card to `dst`:
+  /// host DMA at the host-DMA rate, in-stream transform, packetization,
+  /// credit-windowed transmission at the net rate.  Completes when the
+  /// last burst has left the card.  Bursts of different destinations
+  /// interleave, so concurrent send_streams share both stages.
+  sim::Process send_stream(int dst, Bytes size, std::uint64_t tag = 0,
+                           std::any payload = {});
+
+  /// Installs the send-side in-stream transform (e.g. local transpose).
+  void set_send_transform(Transform t) { send_transform_ = std::move(t); }
+
+  // ------------------------------------------------------------------
+  // Compute-accelerator mode (Section 2)
+  // ------------------------------------------------------------------
+
+  /// Runs an application kernel on the FPGAs over `data` bytes of host
+  /// memory: host -> card, kernel at `kernel_rate`, card -> host.  On
+  /// the ideal card "a separate path to host memory is configured to
+  /// allow normal network operations", so the offload does NOT contend
+  /// with the streaming datapath; on the ACEII prototype every byte
+  /// still crosses the single shared card bus.  `payload` (if any) is
+  /// transformed in place by `kernel_fn`.
+  sim::Process compute_offload(Bytes data, Bandwidth kernel_rate,
+                               std::any* payload = nullptr,
+                               const Transform& kernel_fn = {});
+
+  // ------------------------------------------------------------------
+  // Receive side
+  // ------------------------------------------------------------------
+
+  /// Messages fully received into INIC memory (before host delivery).
+  sim::Channel<proto::Message>& card_inbox() { return card_inbox_; }
+
+  /// Installs the receive-side in-stream transform (e.g. bucket sort,
+  /// final permutation placement).
+  void set_recv_transform(Transform t) { recv_transform_ = std::move(t); }
+
+  /// Bulk card-to-host DMA of `size` bytes (the FFT path: "the final
+  /// copy of data to the host must wait on all data to be received").
+  sim::Process dma_to_host(Bytes size);
+
+  /// Bulk host-to-card DMA of `size` bytes that stays on the card (e.g.
+  /// a node's own transpose block, which crosses to the card for the
+  /// in-stream permutation but never touches the network).
+  sim::Process dma_from_host(Bytes size);
+
+  /// Threshold-batched host delivery (the sort path, Equation 15):
+  /// `accumulate_for_host` records `amount` landing in hardware bucket
+  /// `bucket`; whenever a bucket crosses the 64 KB threshold the card
+  /// books a DMA of that chunk.  flush_to_host() drains remainders and
+  /// completes when every booked delivery has landed in host memory.
+  void accumulate_for_host(std::size_t bucket, Bytes amount);
+  sim::Process flush_to_host();
+
+  // ------------------------------------------------------------------
+  // Endpoint interface + stats
+  // ------------------------------------------------------------------
+
+  void deliver(const net::Frame& frame) override;
+
+  std::uint64_t bursts_sent() const { return bursts_sent_; }
+  std::uint64_t credits_received() const { return credits_received_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  Bytes bytes_to_host() const { return bytes_to_host_; }
+  const InicConfig& config() const { return cfg_; }
+  hw::Node& node() { return node_; }
+
+ private:
+  struct MsgHeader {
+    std::uint64_t msg_id;
+    std::uint64_t tag;
+    std::uint64_t total_bytes;
+    std::any payload;
+    Time sent_at;
+  };
+  struct InboundStream {
+    bool started = false;
+    std::uint64_t remaining = 0;
+    std::uint64_t next_seq = 0;  // next expected byte (dedup/gap detection)
+    proto::Message assembling;
+  };
+  struct OutstandingBurst {
+    net::Frame frame;
+    Time sent_at;
+  };
+
+  /// Books `size` on a stage resource, plus the shared card bus when the
+  /// prototype flag is set; returns the completion time of the later.
+  Time book_stage(sim::FifoResource& stage, Bytes size);
+
+  sim::Semaphore& credits_for(int dst);
+  void send_credit(int dst);
+
+  /// Books a burst on the transmit stage(s) and schedules its injection
+  /// (cut-through); shared by first transmission and retransmission.
+  Time transmit_burst(const net::Frame& frame, Time not_before);
+  /// Registers a transmitted burst for credit matching and (optionally)
+  /// retransmission.
+  void track_outstanding(int dst, const net::Frame& frame);
+  void arm_retransmit_timer(int dst);
+  void check_retransmit(int dst, std::uint64_t generation);
+
+  hw::Node& node_;
+  net::Network& network_;
+  InicConfig cfg_;
+
+  sim::FifoResource host_dma_;  // host <-> card stream (both directions)
+  sim::FifoResource net_tx_;    // card -> wire
+  sim::FifoResource net_rx_;    // wire -> card
+  std::unique_ptr<sim::FifoResource> card_bus_;  // prototype only
+  // Lazily-created second host-memory path for compute offload (ideal
+  // card only; the prototype has no separate path).
+  std::unique_ptr<sim::FifoResource> offload_path_;
+
+  Transform send_transform_;
+  Transform recv_transform_;
+
+  sim::Channel<proto::Message> card_inbox_;
+  std::map<int, std::unique_ptr<sim::Semaphore>> credits_;
+  std::map<std::uint64_t, InboundStream> inbound_;  // keyed by (src<<32|msg)
+  std::uint64_t next_msg_id_ = 1;
+
+  // Threshold-batched host delivery state.
+  std::map<std::size_t, Bytes> bucket_accumulated_;
+  Time last_host_delivery_ = Time::zero();
+
+  // Reliability state (hw_retransmit): per-destination outstanding
+  // bursts awaiting credits, FIFO, plus a timer generation counter.
+  std::map<int, std::deque<OutstandingBurst>> outstanding_;
+  std::map<int, std::uint64_t> retransmit_generation_;
+
+  std::uint64_t bursts_sent_ = 0;
+  std::uint64_t credits_received_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  Bytes bytes_to_host_ = Bytes::zero();
+};
+
+}  // namespace acc::inic

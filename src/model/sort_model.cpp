@@ -1,0 +1,90 @@
+#include "model/sort_model.hpp"
+
+namespace acc::model {
+
+SortAnalyticModel::SortAnalyticModel(const Calibration& cal) : cal_(cal) {}
+
+Bytes SortAnalyticModel::partition_size(std::size_t total_keys,
+                                        std::size_t processors) const {
+  // Equation (12): 4 bytes per 32-bit key.
+  return Bytes(4 * total_keys / processors);
+}
+
+std::size_t SortAnalyticModel::keys_per_processor(
+    std::size_t total_keys, std::size_t processors) const {
+  return total_keys / processors;
+}
+
+Time SortAnalyticModel::t_dtc(std::size_t processors) const {
+  // Equation (13): worst-case distribution of data into P bins before
+  // any bin holds a full packet: P x 1024 bytes from host to card.
+  return transfer_time(Bytes(processors * cal_.inic_packet.count()),
+                       cal_.host_to_card);
+}
+
+Time SortAnalyticModel::t_dtg(std::size_t processors) const {
+  // Equation (14): the same worst-case fill, card to network.
+  return transfer_time(Bytes(processors * cal_.inic_packet.count()),
+                       cal_.card_to_network);
+}
+
+Time SortAnalyticModel::t_dfg(std::size_t cache_buckets) const {
+  // Equation (15): N x 64 KB must arrive before any receive-side bucket
+  // is guaranteed to cross the card-to-host DMA threshold.
+  return transfer_time(
+      Bytes(cache_buckets * cal_.dma_efficiency_threshold.count()),
+      cal_.card_to_network);
+}
+
+Time SortAnalyticModel::t_dth(std::size_t total_keys,
+                              std::size_t processors) const {
+  // Equation (16): the host retrieves its full partition.
+  return transfer_time(partition_size(total_keys, processors),
+                       cal_.host_to_card);
+}
+
+Time SortAnalyticModel::inic_redistribution_time(
+    std::size_t total_keys, std::size_t processors,
+    std::size_t cache_buckets) const {
+  // Equation (17).
+  return t_dtc(processors) + t_dtg(processors) + t_dfg(cache_buckets) +
+         t_dth(total_keys, processors);
+}
+
+Time SortAnalyticModel::count_sort_time(std::size_t total_keys,
+                                        std::size_t processors) const {
+  return cal_.count_sort_per_key *
+         static_cast<double>(keys_per_processor(total_keys, processors));
+}
+
+Time SortAnalyticModel::bucket_phase_time(std::size_t total_keys,
+                                          std::size_t processors) const {
+  return cal_.bucket_sort_per_key *
+         static_cast<double>(keys_per_processor(total_keys, processors));
+}
+
+Time SortAnalyticModel::inic_total_time(std::size_t total_keys,
+                                        std::size_t processors,
+                                        std::size_t cache_buckets) const {
+  if (processors == 1) return serial_time(total_keys);
+  // Equation (11): T = T_countsort + T_INIC.
+  return count_sort_time(total_keys, processors) +
+         inic_redistribution_time(total_keys, processors, cache_buckets);
+}
+
+Time SortAnalyticModel::serial_time(std::size_t total_keys) const {
+  // Two bucket-sort distribution passes (coarse, then cache-sized) plus
+  // the count sort — the "over 5 seconds" of serial bucket sorting the
+  // INIC absorbs (Section 4.2).
+  return bucket_phase_time(total_keys, 1) * 2.0 +
+         count_sort_time(total_keys, 1);
+}
+
+double SortAnalyticModel::inic_speedup(std::size_t total_keys,
+                                       std::size_t processors,
+                                       std::size_t cache_buckets) const {
+  return serial_time(total_keys) /
+         inic_total_time(total_keys, processors, cache_buckets);
+}
+
+}  // namespace acc::model

@@ -1,0 +1,65 @@
+// Analytic integer-sort performance model — Section 4.2, Equations
+// (11)-(17).
+//
+// T = T_countsort + T_INIC, where T_INIC is the exposed delay of the
+// data redistribution through the INICs: a worst-case fill delay before
+// the first packet can leave (Eq. 13/14), the N x 64 KB accumulation
+// before any receive-side bucket is guaranteed to cross the DMA
+// threshold (Eq. 15), and the final partition retrieval (Eq. 16).
+// Everything else pipelines.  The host-side (Gigabit) component times of
+// Figure 5(a) are also provided, from the same per-key calibration the
+// simulator charges.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "model/calibration.hpp"
+
+namespace acc::model {
+
+class SortAnalyticModel {
+ public:
+  explicit SortAnalyticModel(const Calibration& cal = default_calibration());
+
+  /// Equation (12): S = 4 * E_init / P bytes.
+  Bytes partition_size(std::size_t total_keys, std::size_t processors) const;
+
+  /// Keys per processor after redistribution (uniform input).
+  std::size_t keys_per_processor(std::size_t total_keys,
+                                 std::size_t processors) const;
+
+  /// Equations (13)-(16), the four exposed INIC delays.
+  Time t_dtc(std::size_t processors) const;          // worst-case bin fill
+  Time t_dtg(std::size_t processors) const;          // first packets out
+  Time t_dfg(std::size_t cache_buckets) const;       // N x 64 KB threshold
+  Time t_dth(std::size_t total_keys, std::size_t processors) const;
+
+  /// Equation (17): T_INIC = T_dtc + T_dtg + T_dfg + T_dth.
+  Time inic_redistribution_time(std::size_t total_keys,
+                                std::size_t processors,
+                                std::size_t cache_buckets) const;
+
+  /// Host component times of Figure 5(a) (per processor, serialized
+  /// Gigabit implementation).
+  Time count_sort_time(std::size_t total_keys, std::size_t processors) const;
+  Time bucket_phase_time(std::size_t total_keys,
+                         std::size_t processors) const;
+
+  /// Equation (11) assembled for the ideal INIC.
+  Time inic_total_time(std::size_t total_keys, std::size_t processors,
+                       std::size_t cache_buckets) const;
+
+  /// Serial baseline: two bucket-sort passes plus count sort on one host.
+  Time serial_time(std::size_t total_keys) const;
+
+  double inic_speedup(std::size_t total_keys, std::size_t processors,
+                      std::size_t cache_buckets) const;
+
+  const Calibration& calibration() const { return cal_; }
+
+ private:
+  Calibration cal_;
+};
+
+}  // namespace acc::model

@@ -1,0 +1,69 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace acc::net {
+
+Network::Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
+    : eng_(eng), cfg_(cfg) {
+  ports_.reserve(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    ports_.push_back(Port{
+        nullptr,
+        std::make_unique<sim::FifoResource>(eng, cfg.line_rate,
+                                            "egress-" + std::to_string(p)),
+        Bytes::zero()});
+  }
+}
+
+void Network::set_random_loss(double probability, std::uint64_t seed) {
+  loss_probability_ = probability;
+  loss_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
+}
+
+void Network::attach(int node, Endpoint& endpoint) {
+  auto& port = ports_.at(static_cast<std::size_t>(node));
+  assert(port.endpoint == nullptr && "port already attached");
+  port.endpoint = &endpoint;
+}
+
+void Network::inject(Frame frame) {
+  auto& port = ports_.at(static_cast<std::size_t>(frame.dst));
+  if (port.endpoint == nullptr) {
+    throw std::logic_error("Network::inject: destination port not attached");
+  }
+  frame.id = next_frame_id_++;
+
+  // The frame reaches the switch after the ingress link latency; the
+  // buffer admission decision happens there.
+  // Injected loss models bit errors on the links; the frame vanishes
+  // before the switch sees it.
+  if (loss_rng_ && loss_rng_->chance(loss_probability_)) {
+    ++dropped_;
+    return;
+  }
+
+  eng_.schedule(cfg_.link_latency + cfg_.switch_latency, [this, frame,
+                                                          &port]() mutable {
+    if (port.buffered + frame.wire > cfg_.port_buffer) {
+      ++dropped_;
+      return;  // drop-tail: the whole burst is lost
+    }
+    port.buffered += frame.wire;
+    if (port.buffered > peak_occupancy_) peak_occupancy_ = port.buffered;
+
+    // Egress serialization at line rate, FCFS with other buffered frames,
+    // then the egress link latency to the endpoint.
+    const Time serialized_at = port.egress->enqueue(frame.wire);
+    eng_.schedule_at(serialized_at, [this, frame, &port] {
+      port.buffered -= frame.wire;
+      ++forwarded_;
+      bytes_forwarded_ += frame.wire;
+      eng_.schedule(cfg_.link_latency,
+                    [frame, &port] { port.endpoint->deliver(frame); });
+    });
+  });
+}
+
+}  // namespace acc::net

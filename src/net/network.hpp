@@ -1,0 +1,93 @@
+// Star-topology cluster network: N endpoints around one store-and-forward
+// switch with per-output-port buffering and drop-tail loss.
+//
+// The INIC protocol's no-loss argument (Section 4.1: "the total amount of
+// data put into the network never exceeds the total size of the network
+// buffers") and TCP's loss/timeout behaviour both hinge on this buffer
+// model, so it is explicit: every output port has a byte-capacity buffer;
+// a burst that does not fit is dropped whole and counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/frame.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace acc::net {
+
+/// Anything that can terminate a link: a standard NIC or an INIC.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called when a frame has fully arrived at the device.
+  virtual void deliver(const Frame& frame) = 0;
+};
+
+struct NetworkConfig {
+  Bandwidth line_rate = Bandwidth::gbit_per_sec(1.0);
+  Time link_latency = Time::micros(1.0);    // cable + PHY each way
+  Time switch_latency = Time::micros(4.0);  // forwarding decision
+  Bytes port_buffer = Bytes::kib(512);      // output buffer per port
+};
+
+class Network {
+ public:
+  Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg = {});
+
+  /// Attaches the device that receives frames destined to `node`.
+  void attach(int node, Endpoint& endpoint);
+
+  /// Injects a frame whose transmit serialization *at the source device*
+  /// is already accounted by the caller.  The network adds: ingress link
+  /// latency, switch forwarding latency, output-port buffering (with
+  /// drop-tail loss, visible only through frames_dropped()), egress
+  /// serialization at line rate, and egress link latency.  Senders learn
+  /// of drops the way real ones do: by timeout.
+  void inject(Frame frame);
+
+  /// Per-port egress serialization resources (exposed so devices can rate
+  /// their own transmit at the same line rate).
+  Bandwidth line_rate() const { return cfg_.line_rate; }
+  Time one_way_latency() const { return cfg_.link_latency + cfg_.switch_latency; }
+
+  std::uint64_t frames_forwarded() const { return forwarded_; }
+  std::uint64_t frames_dropped() const { return dropped_; }
+  Bytes bytes_forwarded() const { return bytes_forwarded_; }
+
+  /// Peak output-buffer occupancy seen on any port (bytes) — used by
+  /// tests of the paper's "fits in network buffers" claim.
+  Bytes peak_buffer_occupancy() const { return peak_occupancy_; }
+
+  /// Failure injection: independently drops each DATA frame with the
+  /// given probability (control/ACK frames too — real bit errors do not
+  /// discriminate).  Deterministic per seed.  Used by the reliability
+  /// tests; off by default.
+  void set_random_loss(double probability, std::uint64_t seed);
+
+ private:
+  struct Port {
+    Endpoint* endpoint = nullptr;
+    std::unique_ptr<sim::FifoResource> egress;
+    Bytes buffered = Bytes::zero();
+  };
+
+  sim::Engine& eng_;
+  NetworkConfig cfg_;
+  std::vector<Port> ports_;
+  double loss_probability_ = 0.0;
+  std::unique_ptr<Rng> loss_rng_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_frame_id_ = 1;
+  Bytes bytes_forwarded_ = Bytes::zero();
+  Bytes peak_occupancy_ = Bytes::zero();
+};
+
+}  // namespace acc::net

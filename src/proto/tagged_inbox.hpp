@@ -1,0 +1,57 @@
+// Tag-matched receive over a message channel.
+//
+// Both protocol stacks deliver completed messages into a single inbox
+// per node, in arrival order.  Algorithms that run in rounds (pairwise
+// exchanges, tree collectives) need the message *for a given tag*, and a
+// faster peer's next-round message can arrive first.  TaggedInbox wraps
+// the channel with a stash so out-of-round arrivals wait their turn —
+// the moral equivalent of MPI tag matching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "sim/channel.hpp"
+#include "sim/process.hpp"
+
+namespace acc::proto {
+
+class TaggedInbox {
+ public:
+  explicit TaggedInbox(sim::Channel<Message>& channel) : channel_(channel) {}
+
+  /// Receives the next message with the given tag (FIFO among same-tag
+  /// messages); other tags are stashed for their own recv calls.
+  sim::Process recv(std::uint64_t tag, Message& out) {
+    for (;;) {
+      auto it = stash_.find(tag);
+      if (it != stash_.end() && !it->second.empty()) {
+        out = std::move(it->second.front());
+        it->second.erase(it->second.begin());
+        if (it->second.empty()) stash_.erase(it);
+        co_return;
+      }
+      Message msg = co_await channel_.recv();
+      if (msg.tag == tag) {
+        out = std::move(msg);
+        co_return;
+      }
+      stash_[msg.tag].push_back(std::move(msg));
+    }
+  }
+
+  /// Messages currently stashed (tests).
+  std::size_t stashed() const {
+    std::size_t n = 0;
+    for (const auto& [tag, v] : stash_) n += v.size();
+    return n;
+  }
+
+ private:
+  sim::Channel<Message>& channel_;
+  std::map<std::uint64_t, std::vector<Message>> stash_;
+};
+
+}  // namespace acc::proto

@@ -1,0 +1,116 @@
+// Simplified TCP over the standard NIC — the baseline transport whose
+// behaviour on short cluster transfers the paper dissects in Section 4.1.
+//
+// What is modelled (each item is something the paper explicitly blames):
+//   * slow start and congestion avoidance: the congestion window starts
+//     at a couple of segments and must grow across round trips, so short
+//     transfers never reach line rate;
+//   * interrupt mitigation at BOTH ends: data and ACK frames sit in the
+//     NIC until a coalescing interrupt fires, inflating the effective RTT
+//     that slow start is clocked by;
+//   * per-packet host processing: every MSS-sized wire packet costs CPU
+//     time in the stack, contending with application compute;
+//   * loss + retransmission: bursts that overflow a switch output buffer
+//     are dropped whole; the sender recovers by timeout, halving
+//     ssthresh and collapsing the window (TCP's congested-WAN reflexes,
+//     exactly wrong for a lossless cluster, per the paper).
+//
+// Granularity: one Frame per in-flight window (stop-and-wait at window
+// scale).  Within a window the per-packet costs are charged
+// arithmetically from Frame::packet_count.  This keeps event counts
+// O(transfers * round-trips) while preserving the window dynamics that
+// shape Figure 4(b)'s communication curve.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/units.hpp"
+#include "net/frame.hpp"
+#include "net/nic.hpp"
+#include "proto/message.hpp"
+#include "sim/channel.hpp"
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+
+namespace acc::proto {
+
+struct TcpConfig {
+  std::size_t mss = 1460;                 // bytes of payload per packet
+  std::size_t initial_window_segments = 2;
+  Bytes max_window = Bytes::kib(64);      // socket-buffer cap on cwnd
+  Time min_rto = Time::millis(200);
+  /// Per-packet wire overhead: Ethernet framing + IP + TCP headers.
+  Bytes per_packet_overhead = Bytes(78);  // 38 framing + 40 IP/TCP
+  Bytes ack_wire_size = Bytes(78 + 0);    // header-only segment on the wire
+};
+
+/// One node's TCP endpoint: owns all connections originating or
+/// terminating here and is the NIC's receive upcall.
+class TcpStack {
+ public:
+  TcpStack(hw::Node& node, net::StandardNic& nic, const TcpConfig& cfg = {});
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Sends an application message to `dst`; completes when every byte has
+  /// been cumulatively ACKed.  Messages to the same destination serialize
+  /// on the connection in call order.
+  sim::Process send_message(int dst, Bytes size, std::uint64_t tag = 0,
+                            std::any payload = {});
+
+  /// Completed inbound messages, in delivery order.
+  sim::Channel<Message>& inbox() { return inbox_; }
+
+  /// Retransmission count across all connections (tests, reports).
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+  const TcpConfig& config() const { return cfg_; }
+
+ private:
+  struct Connection {
+    explicit Connection(sim::Engine& eng) : send_lock(eng, 1) {}
+    // ---- sender state ----
+    sim::Semaphore send_lock;        // one in-flight message per connection
+    double cwnd = 0.0;               // congestion window, bytes
+    double ssthresh = 0.0;           // slow-start threshold, bytes
+    std::uint64_t snd_next = 0;      // next sequence byte to send
+    std::uint64_t snd_una = 0;       // oldest unacknowledged byte
+    std::uint64_t next_msg_id = 1;
+    std::uint64_t rto_generation = 0;
+    Time srtt = Time::zero();        // smoothed RTT (zero = unmeasured)
+    Time burst_sent_at = Time::zero();
+    std::unique_ptr<sim::Event> ack_event;  // re-armed per burst
+    // ---- receiver state ----
+    std::uint64_t rcv_next = 0;      // next expected sequence byte
+    std::uint64_t rcv_msg_remaining = 0;  // bytes left in current message
+    Message rcv_current;             // message being assembled
+  };
+
+  Connection& connection_to(int peer);
+  Connection& connection_from(int peer);
+  void on_frame(const net::Frame& frame);
+  void on_data(const net::Frame& frame);
+  void on_ack(const net::Frame& frame);
+  void send_ack(int dst, std::uint32_t flow, std::uint64_t ack_seq);
+  Time current_rto(const Connection& c) const;
+  void update_rtt(Connection& c, Time sample);
+
+  hw::Node& node_;
+  net::StandardNic& nic_;
+  TcpConfig cfg_;
+  sim::Channel<Message> inbox_;
+  // Sender-side connections keyed by destination, receiver-side by source.
+  std::map<int, std::unique_ptr<Connection>> out_;
+  std::map<int, std::unique_ptr<Connection>> in_;
+  // Keeps transmit coroutines alive until they finish.
+  std::vector<std::unique_ptr<sim::Process>> tx_in_flight_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace acc::proto

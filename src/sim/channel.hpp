@@ -1,0 +1,135 @@
+// Typed message channels between simulation processes.
+//
+// Channel<T> is an unbounded (or optionally bounded) FIFO.  Receivers
+// suspend when the channel is empty; with a capacity set, senders suspend
+// when it is full.  Wakeups are delivered through the engine's event queue
+// at zero delay, which keeps resume order deterministic and avoids
+// re-entrant resumption inside send().
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace acc::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng,
+                   std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : eng_(eng), capacity_(capacity) {
+    assert(capacity_ > 0);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Non-suspending send.  Asserts the channel has room; use only on
+  /// unbounded channels or when the caller has ensured capacity.
+  void send_now(T value) {
+    assert(items_.size() < capacity_);
+    items_.push_back(std::move(value));
+    wake_one_receiver();
+  }
+
+  /// Awaitable send honouring capacity: `co_await ch.send(v);`
+  auto send(T value) {
+    struct Awaiter {
+      Channel& ch;
+      T value;
+      bool await_ready() { return ch.items_.size() < ch.capacity_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.senders_.push_back(Waiting{h, this});
+      }
+      void await_resume() {
+        ch.items_.push_back(std::move(value));
+        ch.wake_one_receiver();
+      }
+    };
+    return Awaiter{*this, std::move(value)};
+  }
+
+  /// Awaitable receive: `T v = co_await ch.recv();`  FIFO among waiters.
+  auto recv() {
+    struct Awaiter {
+      Channel& ch;
+      std::optional<T> value = std::nullopt;
+      bool await_ready() {
+        if (!ch.items_.empty()) {
+          value = ch.take_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.receivers_.push_back(RecvWaiting{h, this});
+      }
+      T await_resume() {
+        assert(value.has_value());
+        return std::move(*value);
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  /// Non-suspending receive; empty optional when nothing is queued.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    return take_front();
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Waiting {
+    std::coroutine_handle<> h;
+    void* awaiter;  // sender Awaiter*, resolved at wake time
+  };
+  struct RecvWaiting {
+    std::coroutine_handle<> h;
+    void* awaiter;  // receiver Awaiter*
+  };
+
+  T take_front() {
+    T v = std::move(items_.front());
+    items_.pop_front();
+    wake_one_sender();
+    return v;
+  }
+
+  void wake_one_receiver() {
+    if (receivers_.empty() || items_.empty()) return;
+    RecvWaiting w = receivers_.front();
+    receivers_.pop_front();
+    // Hand the item to the awaiter immediately (preserving FIFO pairing of
+    // items to receivers) but resume through the event queue.
+    auto* awaiter = static_cast<decltype(recv())*>(w.awaiter);
+    awaiter->value = take_front();
+    eng_.schedule(Time::zero(), [h = w.h] { h.resume(); });
+  }
+
+  void wake_one_sender() {
+    if (senders_.empty() || items_.size() >= capacity_) return;
+    Waiting w = senders_.front();
+    senders_.pop_front();
+    // The sender's await_resume pushes its value; resume via the queue.
+    eng_.schedule(Time::zero(), [h = w.h] { h.resume(); });
+  }
+
+  Engine& eng_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<RecvWaiting> receivers_;
+  std::deque<Waiting> senders_;
+};
+
+}  // namespace acc::sim

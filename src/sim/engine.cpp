@@ -1,0 +1,58 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace acc::sim {
+
+void Engine::schedule_at(Time when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Scheduled{when, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a copy of
+  // the wrapper before pop.  Events are small (a std::function), so the
+  // copy is cheap relative to event execution.
+  Scheduled ev = queue_.top();
+  queue_.pop();
+  assert(ev.when >= now_);
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+Time Engine::run() {
+  while (step()) {
+    rethrow_if_failed();
+  }
+  rethrow_if_failed();
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    rethrow_if_failed();
+  }
+  rethrow_if_failed();
+  if (now_ < deadline && queue_.empty()) {
+    // Idle until the deadline: advance the clock so callers observe the
+    // requested time even with nothing to do.
+    now_ = deadline;
+  } else if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+void Engine::rethrow_if_failed() {
+  if (failure_) {
+    std::exception_ptr e = std::exchange(failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,84 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of (time, sequence, callback) events.
+// Everything that happens in a simulated cluster — a DMA burst finishing,
+// a frame arriving at a switch port, a CPU finishing a compute phase — is
+// an event.  Processes (src/sim/process.hpp) are C++20 coroutines whose
+// suspensions are implemented as events, so the engine itself stays a
+// plain callback scheduler with deterministic FIFO tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace acc::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after now.  Events scheduled for the
+  /// same instant run in scheduling order (stable FIFO).
+  void schedule(Time delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at an absolute simulated time (>= now).
+  void schedule_at(Time when, Callback fn);
+
+  /// Runs one event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.  Returns the final simulated time.
+  /// Rethrows the first exception that escaped a root process.
+  Time run();
+
+  /// Runs until the queue is empty or simulated time would exceed
+  /// `deadline`; events at exactly `deadline` still run.
+  Time run_until(Time deadline);
+
+  /// Number of events executed so far (for tests and budget checks).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Records an exception that escaped a detached root process; run()
+  /// rethrows it.  Used by the process machinery, not by user code.
+  void report_failure(std::exception_ptr e) {
+    if (!failure_) failure_ = std::move(e);
+  }
+
+ private:
+  struct Scheduled {
+    Time when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void rethrow_if_failed();
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace acc::sim

@@ -1,0 +1,20 @@
+#include "sim/process.hpp"
+
+#include <stdexcept>
+
+namespace acc::sim {
+
+Time ProcessGroup::join() {
+  eng_.run();
+  for (const auto& p : processes_) {
+    p->rethrow_if_failed();
+    if (!p->done()) {
+      throw std::logic_error(
+          "ProcessGroup::join: a process is still suspended after the event "
+          "queue drained (simulation deadlock)");
+    }
+  }
+  return last_finish_;
+}
+
+}  // namespace acc::sim

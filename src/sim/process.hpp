@@ -1,0 +1,216 @@
+// Simulation processes as C++20 coroutines.
+//
+// A Process is a lazily-started coroutine.  It can be:
+//   * spawned as a root activity:        engine.spawn? -> sim::spawn(eng, fn(...))
+//   * awaited as a sub-activity:         co_await child_process(...)
+//
+// Suspension points are awaitables built on Engine::schedule, so a process
+// never blocks a host thread; it is resumed by the event that completes
+// its wait.  Exceptions thrown inside a process propagate to the awaiting
+// parent, or — for detached root processes — to Engine::run().
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace acc::sim {
+
+class Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      promise_type& p = h.promise();
+      p.finished = true;
+      if (p.on_finished) p.on_finished();
+      if (p.continuation) return p.continuation;
+      if (p.exception && p.engine) {
+        // Detached root process: surface the failure through the engine.
+        p.engine->report_failure(p.exception);
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  struct promise_type {
+    Engine* engine = nullptr;            // set when spawned or awaited
+    std::coroutine_handle<> continuation;  // parent awaiting this process
+    std::exception_ptr exception;
+    bool finished = false;
+    bool started = false;                // body has begun executing
+    std::function<void()> on_finished;   // completion hook (Latch, tests)
+
+    Process get_return_object() {
+      return Process(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Process() = default;
+  explicit Process(Handle h) : h_(h) {}
+  Process(Process&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_ && h_.promise().finished; }
+
+  /// True if the process terminated by throwing.
+  bool failed() const { return h_ && h_.promise().exception != nullptr; }
+
+  /// Awaiting a Process starts it (lazily) and suspends the parent until
+  /// it completes; an exception inside the child rethrows here.  Awaiting
+  /// a temporary is safe: the temporary lives in the awaiting coroutine's
+  /// frame until the full expression ends, i.e. after resumption.
+  auto operator co_await() {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() { return h.promise().finished; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        h.promise().continuation = parent;
+        if (!h.promise().started) {
+          // Lazy child: start it now via symmetric transfer.
+          h.promise().started = true;
+          return h;
+        }
+        // Already running (spawned earlier): just wait for completion —
+        // resuming it here would corrupt its own suspend point.
+        return std::noop_coroutine();
+      }
+      void await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+      }
+    };
+    assert(h_);
+    return Awaiter{h_};
+  }
+
+  /// Starts the process as a detached root activity of `eng`.  The caller
+  /// must keep the Process object alive until it finishes (the engine's
+  /// event queue only references the frame, not the wrapper).
+  void start(Engine& eng) {
+    assert(h_ && !h_.promise().started);
+    h_.promise().started = true;
+    bind_engine(eng);
+    // Kick off at the current instant via the event queue to preserve
+    // deterministic ordering with already-scheduled events.
+    eng.schedule(Time::zero(), [h = h_] { h.resume(); });
+  }
+
+  /// Installs a completion hook; runs exactly once when the process ends.
+  void on_finished(std::function<void()> fn) {
+    assert(h_);
+    if (h_.promise().finished) {
+      fn();
+    } else {
+      h_.promise().on_finished = std::move(fn);
+    }
+  }
+
+  /// Rethrows the stored exception, if any (for finished root processes).
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+  }
+
+  /// Records which engine the process belongs to (needed for failure
+  /// reporting from detached roots); harmless to call repeatedly.
+  void bind_engine(Engine& eng) {
+    assert(h_);
+    h_.promise().engine = &eng;
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  Handle h_;
+};
+
+/// Awaitable: suspend for a simulated duration.
+///   co_await Delay{eng, Time::micros(5)};
+struct Delay {
+  Engine& eng;
+  Time duration;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    eng.schedule(duration, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+/// Awaitable: suspend until an absolute simulated time (>= now).
+struct DelayUntil {
+  Engine& eng;
+  Time when;
+
+  bool await_ready() const { return when <= eng.now(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    eng.schedule_at(when, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+/// A group of root processes run to completion together.  Keeps the
+/// Process wrappers (and thus the coroutine frames) alive for the duration
+/// of the run; join() rethrows the first failure.
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(Engine& eng) : eng_(eng) {}
+
+  void spawn(Process p) {
+    processes_.push_back(std::make_unique<Process>(std::move(p)));
+    Process& proc = *processes_.back();
+    proc.on_finished([this] {
+      if (eng_.now() > last_finish_) last_finish_ = eng_.now();
+    });
+    proc.start(eng_);
+  }
+
+  /// Runs the engine until all events drain, then verifies every process
+  /// finished (a process still pending means deadlock).
+  ///
+  /// Returns the time the LAST PROCESS finished — not the time the event
+  /// queue emptied.  The two differ when defensive timers (e.g. TCP
+  /// retransmission timeouts that never fire) outlive the workload; those
+  /// must not count as application run time.
+  Time join();
+
+  std::size_t size() const { return processes_.size(); }
+
+ private:
+  Engine& eng_;
+  Time last_finish_ = Time::zero();
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace acc::sim

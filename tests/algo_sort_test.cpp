@@ -1,0 +1,194 @@
+// Sorting kernels: correctness against std::sort, stability of the
+// distribution pass, bucket arithmetic, and the two-phase prototype path.
+#include "algo/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace acc::algo {
+namespace {
+
+TEST(BucketIndex, SplitsKeySpaceByTopBits) {
+  EXPECT_EQ(bucket_index(0x00000000u, 16), 0u);
+  EXPECT_EQ(bucket_index(0x0FFFFFFFu, 16), 0u);
+  EXPECT_EQ(bucket_index(0x10000000u, 16), 1u);
+  EXPECT_EQ(bucket_index(0xFFFFFFFFu, 16), 15u);
+  EXPECT_EQ(bucket_index(0x80000000u, 2), 1u);
+  EXPECT_EQ(bucket_index(0x7FFFFFFFu, 2), 0u);
+  EXPECT_EQ(bucket_index(0xDEADBEEFu, 1), 0u);
+}
+
+TEST(BucketIndex, RejectsNonPowerOfTwoCounts) {
+  EXPECT_THROW(bucket_index(0u, 3), std::invalid_argument);
+  EXPECT_THROW(bucket_index(0u, 0), std::invalid_argument);
+  EXPECT_THROW(bucket_bits(12), std::invalid_argument);
+}
+
+TEST(BucketPartition, KeysLandInOrderedBuckets) {
+  auto keys = uniform_keys(10000, 42);
+  const std::size_t buckets = 16;
+  auto parts = bucket_sort_partition(keys, buckets);
+  ASSERT_EQ(parts.size(), buckets);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (Key k : parts[b]) {
+      EXPECT_EQ(bucket_index(k, buckets), b);
+    }
+    total += parts[b].size();
+  }
+  EXPECT_EQ(total, keys.size());
+  // Every key in bucket b precedes (in value) every key in bucket b+1.
+  for (std::size_t b = 0; b + 1 < buckets; ++b) {
+    if (parts[b].empty() || parts[b + 1].empty()) continue;
+    const Key max_b = *std::max_element(parts[b].begin(), parts[b].end());
+    const Key min_next =
+        *std::min_element(parts[b + 1].begin(), parts[b + 1].end());
+    EXPECT_LE(max_b, min_next);
+  }
+}
+
+TEST(BucketPartition, IsStableWithinBuckets) {
+  // Stability: equal keys (and same-bucket keys) keep arrival order.
+  std::vector<Key> keys{5, 3, 5, 1, 3, 5};
+  auto parts = bucket_sort_partition(keys, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], keys);
+}
+
+TEST(BucketHistogram, MatchesPartitionSizes) {
+  auto keys = uniform_keys(5000, 7);
+  auto hist = bucket_histogram(keys, 64);
+  auto parts = bucket_sort_partition(keys, 64);
+  ASSERT_EQ(hist.size(), parts.size());
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    EXPECT_EQ(hist[b], parts[b].size());
+  }
+}
+
+TEST(BucketHistogram, UniformKeysBalanceAcrossBuckets) {
+  const std::size_t n = 1 << 18;
+  auto hist = bucket_histogram(uniform_keys(n, 99), 16);
+  const double expected = static_cast<double>(n) / 16.0;
+  for (std::size_t count : hist) {
+    EXPECT_NEAR(static_cast<double>(count), expected, 0.05 * expected);
+  }
+}
+
+class SortCorrectness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortCorrectness, CountSortMatchesStdSort) {
+  auto keys = uniform_keys(GetParam(), 1 + GetParam());
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  count_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortCorrectness, QuicksortMatchesStdSort) {
+  auto keys = uniform_keys(GetParam(), 2 + GetParam());
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  quicksort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortCorrectness, CacheAwareSortMatchesStdSort) {
+  auto keys = uniform_keys(GetParam(), 3 + GetParam());
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  cache_aware_sort(keys, 128);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortCorrectness, TwoPhaseSortMatchesStdSort) {
+  auto keys = uniform_keys(GetParam(), 4 + GetParam());
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  auto sorted = two_phase_sort(keys, 16, 64);
+  EXPECT_EQ(sorted, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortCorrectness,
+                         ::testing::Values(0, 1, 2, 3, 17, 100, 1000, 65536));
+
+TEST(CountSort, HandlesAllEqualKeys) {
+  std::vector<Key> keys(1000, 0xABCD1234u);
+  count_sort(keys);
+  for (Key k : keys) EXPECT_EQ(k, 0xABCD1234u);
+}
+
+TEST(CountSort, HandlesAlreadySortedAndReversed) {
+  std::vector<Key> asc(500), desc(500);
+  std::iota(asc.begin(), asc.end(), 0u);
+  for (std::size_t i = 0; i < desc.size(); ++i) {
+    desc[i] = static_cast<Key>(desc.size() - i);
+  }
+  auto asc_expected = asc;
+  auto desc_expected = desc;
+  std::sort(desc_expected.begin(), desc_expected.end());
+  count_sort(asc);
+  count_sort(desc);
+  EXPECT_EQ(asc, asc_expected);
+  EXPECT_EQ(desc, desc_expected);
+}
+
+TEST(CountSort, HandlesExtremeValues) {
+  std::vector<Key> keys{0xFFFFFFFFu, 0u, 0x80000000u, 0x7FFFFFFFu, 0u,
+                        0xFFFFFFFFu};
+  count_sort(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.front(), 0u);
+  EXPECT_EQ(keys.back(), 0xFFFFFFFFu);
+}
+
+TEST(CountingSortRange, SortsWithinKnownRange) {
+  std::vector<Key> keys{105, 100, 103, 101, 104, 100};
+  counting_sort_range(keys, 100, 110);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys[0], 100u);
+  EXPECT_EQ(keys[1], 100u);
+}
+
+TEST(CountingSortRange, RejectsOutOfRangeKeys) {
+  std::vector<Key> keys{5};
+  EXPECT_THROW(counting_sort_range(keys, 10, 20), std::out_of_range);
+}
+
+TEST(Quicksort, HandlesAdversarialPatterns) {
+  // Organ-pipe, all-equal, and sawtooth inputs exercise partition edges.
+  std::vector<Key> organ;
+  for (Key i = 0; i < 500; ++i) organ.push_back(i);
+  for (Key i = 500; i > 0; --i) organ.push_back(i);
+  std::vector<Key> equal(777, 42);
+  std::vector<Key> saw;
+  for (Key i = 0; i < 1000; ++i) saw.push_back(i % 10);
+
+  for (auto* v : {&organ, &equal, &saw}) {
+    auto expected = *v;
+    std::sort(expected.begin(), expected.end());
+    quicksort(*v);
+    EXPECT_EQ(*v, expected);
+  }
+}
+
+TEST(TwoPhase, DegenerateBucketCountsStillSort) {
+  auto keys = uniform_keys(2048, 5);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(two_phase_sort(keys, 1, 1), expected);
+  EXPECT_EQ(two_phase_sort(keys, 2, 1), expected);
+  EXPECT_EQ(two_phase_sort(keys, 1024, 2), expected);
+}
+
+TEST(UniformKeys, IsDeterministicPerSeed) {
+  auto a = uniform_keys(100, 9);
+  auto b = uniform_keys(100, 9);
+  auto c = uniform_keys(100, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace acc::algo

@@ -1,0 +1,114 @@
+// End-to-end distributed 2D-FFT runs on the simulated cluster: the
+// distributed result must match the serial oracle on every interconnect,
+// and the timing must show the paper's ordering (INIC < GigE < FastE
+// transpose cost).
+#include "apps/fft_app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acc::apps {
+namespace {
+
+struct FftCase {
+  std::size_t n;
+  std::size_t p;
+  Interconnect ic;
+};
+
+class DistributedFft : public ::testing::TestWithParam<FftCase> {};
+
+TEST_P(DistributedFft, MatchesSerialOracle) {
+  const auto [n, p, ic] = GetParam();
+  SimCluster cluster(p, ic);
+  FftRunOptions opts;
+  opts.verify = true;
+  const FftRunResult result = run_parallel_fft(cluster, n, opts);
+  EXPECT_TRUE(result.verified) << to_string(ic) << " n=" << n << " P=" << p;
+  EXPECT_GT(result.total, Time::zero());
+  EXPECT_GT(result.compute, Time::zero());
+  EXPECT_GE(result.total, result.compute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistributedFft,
+    ::testing::Values(
+        FftCase{64, 1, Interconnect::kGigabitTcp},
+        FftCase{64, 2, Interconnect::kGigabitTcp},
+        FftCase{64, 4, Interconnect::kGigabitTcp},
+        FftCase{64, 8, Interconnect::kGigabitTcp},
+        FftCase{64, 4, Interconnect::kFastEthernetTcp},
+        FftCase{64, 1, Interconnect::kInicIdeal},
+        FftCase{64, 2, Interconnect::kInicIdeal},
+        FftCase{64, 4, Interconnect::kInicIdeal},
+        FftCase{64, 8, Interconnect::kInicIdeal},
+        FftCase{64, 4, Interconnect::kInicPrototype},
+        FftCase{128, 8, Interconnect::kInicIdeal},
+        FftCase{128, 8, Interconnect::kGigabitTcp},
+        FftCase{256, 16, Interconnect::kInicIdeal}));
+
+TEST(DistributedFftTiming, InicTransposeBeatsGigabit) {
+  // 256x256 on 8 nodes, timing-only at full speed: the INIC transpose
+  // must be clearly cheaper than the TCP/GigE transpose (Figure 4/8).
+  FftRunOptions opts;
+  opts.verify = false;
+
+  SimCluster gige(8, Interconnect::kGigabitTcp);
+  const auto r_gige = run_parallel_fft(gige, 256, opts);
+  SimCluster inic(8, Interconnect::kInicIdeal);
+  const auto r_inic = run_parallel_fft(inic, 256, opts);
+
+  EXPECT_LT(r_inic.transpose.as_seconds(), r_gige.transpose.as_seconds());
+  // Compute time is identical by construction (same host model).
+  EXPECT_NEAR(r_inic.compute.as_seconds(), r_gige.compute.as_seconds(), 1e-9);
+}
+
+TEST(DistributedFftTiming, FastEthernetIsWorstTranspose) {
+  FftRunOptions opts;
+  opts.verify = false;
+  SimCluster faste(8, Interconnect::kFastEthernetTcp);
+  const auto r_faste = run_parallel_fft(faste, 256, opts);
+  SimCluster gige(8, Interconnect::kGigabitTcp);
+  const auto r_gige = run_parallel_fft(gige, 256, opts);
+  EXPECT_GT(r_faste.transpose.as_seconds(), r_gige.transpose.as_seconds());
+}
+
+TEST(DistributedFftTiming, PrototypeSlowerThanIdealInic) {
+  FftRunOptions opts;
+  opts.verify = false;
+  SimCluster ideal(8, Interconnect::kInicIdeal);
+  const auto r_ideal = run_parallel_fft(ideal, 512, opts);
+  SimCluster proto(8, Interconnect::kInicPrototype);
+  const auto r_proto = run_parallel_fft(proto, 512, opts);
+  EXPECT_GT(r_proto.transpose.as_seconds(), r_ideal.transpose.as_seconds());
+}
+
+TEST(DistributedFftTiming, SingleNodeMatchesSerialReference) {
+  FftRunOptions opts;
+  opts.verify = false;
+  SimCluster one(1, Interconnect::kGigabitTcp);
+  const auto parallel = run_parallel_fft(one, 256, opts);
+  const auto serial = run_serial_fft(model::default_calibration(), 256);
+  EXPECT_NEAR(parallel.total.as_seconds(), serial.total.as_seconds(),
+              0.02 * serial.total.as_seconds());
+}
+
+TEST(DistributedFftTiming, InicSpeedupScalesNearLinearly) {
+  // Figure 4(a): near-linear speedup for the ideal INIC on 512x512.
+  FftRunOptions opts;
+  opts.verify = false;
+  const auto serial = run_serial_fft(model::default_calibration(), 512);
+  SimCluster c8(8, Interconnect::kInicIdeal);
+  const auto r8 = run_parallel_fft(c8, 512, opts);
+  const double speedup8 = serial.total / r8.total;
+  EXPECT_GT(speedup8, 5.0);
+  EXPECT_LT(speedup8, 9.5);
+}
+
+TEST(DistributedFft, RejectsBadShapes) {
+  SimCluster cluster(3, Interconnect::kGigabitTcp);
+  EXPECT_THROW(run_parallel_fft(cluster, 100), std::invalid_argument);
+  EXPECT_THROW(run_parallel_fft(cluster, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acc::apps

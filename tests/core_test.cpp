@@ -1,0 +1,103 @@
+// Core experiment runners and instrumentation reports: series shapes,
+// determinism, and report accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace acc::core {
+namespace {
+
+TEST(Experiment, FftSeriesIsMonotoneForInic) {
+  const auto series =
+      fft_speedup_series(apps::Interconnect::kInicIdeal, 256, {1, 2, 4, 8});
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_NEAR(series[0].speedup, 1.0, 0.02);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].speedup, series[i - 1].speedup);
+    EXPECT_LT(series[i].total, series[i - 1].total);
+  }
+}
+
+TEST(Experiment, SortSeriesSuperlinearOnInic) {
+  const auto series = sort_speedup_series(apps::Interconnect::kInicIdeal,
+                                          std::size_t{1} << 24, {1, 4, 8});
+  EXPECT_GT(series[1].speedup, 4.0);
+  EXPECT_GT(series[2].speedup, 8.0);
+}
+
+TEST(Experiment, RunsAreDeterministic) {
+  // The whole simulator is seeded and event ordering is total: identical
+  // runs must produce bit-identical times.
+  const auto a = fft_point(apps::Interconnect::kGigabitTcp, 256, 8);
+  const auto b = fft_point(apps::Interconnect::kGigabitTcp, 256, 8);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.transpose, b.transpose);
+
+  const auto sa = sort_point(apps::Interconnect::kInicPrototype,
+                             std::size_t{1} << 22, 8);
+  const auto sb = sort_point(apps::Interconnect::kInicPrototype,
+                             std::size_t{1} << 22, 8);
+  EXPECT_EQ(sa.total, sb.total);
+}
+
+TEST(Report, TcpRunAccountsProtocolWork) {
+  apps::SimCluster cluster(4, apps::Interconnect::kGigabitTcp);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  run_parallel_fft(cluster, 256, opts);
+  const auto report = collect_report(cluster);
+
+  ASSERT_EQ(report.nodes.size(), 4u);
+  EXPECT_GT(report.total_interrupts(), 0u);
+  EXPECT_GT(report.total_protocol_time(), Time::zero());
+  EXPECT_GT(report.frames_forwarded, 0u);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  for (const auto& n : report.nodes) {
+    EXPECT_GT(n.compute_time, Time::zero());
+    EXPECT_GT(n.pci_bytes.count(), 0u);
+    EXPECT_GE(n.cpu_utilization, 0.0);
+    EXPECT_LE(n.cpu_utilization, 1.0);
+    EXPECT_EQ(n.inic_bursts, 0u);  // standard NICs
+  }
+}
+
+TEST(Report, InicRunShowsZeroHostProtocolWork) {
+  apps::SimCluster cluster(4, apps::Interconnect::kInicIdeal);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  run_parallel_fft(cluster, 256, opts);
+  const auto report = collect_report(cluster);
+
+  EXPECT_EQ(report.total_interrupts(), 0u);
+  EXPECT_EQ(report.total_protocol_time(), Time::zero());
+  for (const auto& n : report.nodes) {
+    EXPECT_GT(n.inic_bursts, 0u);
+    EXPECT_GT(n.inic_bytes_to_host.count(), 0u);
+    EXPECT_EQ(n.inic_retransmits, 0u);  // lossless fabric
+  }
+}
+
+TEST(Report, PrintsOneRowPerNodePlusFabricLine) {
+  apps::SimCluster cluster(3, apps::Interconnect::kGigabitTcp);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  // 3 does not divide 256? 256 % 3 != 0 -> use a sort run instead... P
+  // must be a power of two for sorts; use alltoall-free FFT at n=255?
+  // Simplest valid workload on 3 nodes: none of the apps; just collect
+  // the empty report and print it.
+  const auto report = collect_report(cluster);
+  std::ostringstream os;
+  report.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("node"), std::string::npos);
+  EXPECT_NE(out.find("fabric:"), std::string::npos);
+  // Header + 3 node rows + rule + fabric line.
+  EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 6);
+}
+
+}  // namespace
+}  // namespace acc::core

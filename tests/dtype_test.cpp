@@ -1,0 +1,159 @@
+// Derived datatypes: construction invariants, pack/unpack round trips
+// (property-tested across layouts), and host pack-cost behaviour.
+#include "dtype/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace acc::dtype {
+namespace {
+
+std::vector<std::uint8_t> numbered_buffer(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i);
+  return v;
+}
+
+TEST(Datatype, ContiguousDescribesOneRun) {
+  const auto t = Datatype::contiguous(100);
+  EXPECT_EQ(t.packed_size(), Bytes(100));
+  EXPECT_EQ(t.extent(), 100u);
+  EXPECT_EQ(t.block_count(), 1u);
+  EXPECT_TRUE(t.is_contiguous());
+}
+
+TEST(Datatype, VectorLayoutMatchesMpiSemantics) {
+  // 3 blocks of 4 bytes, stride 10: offsets 0, 10, 20.
+  const auto t = Datatype::vector(3, 4, 10);
+  EXPECT_EQ(t.packed_size(), Bytes(12));
+  EXPECT_EQ(t.extent(), 24u);
+  EXPECT_EQ(t.block_count(), 3u);
+  EXPECT_FALSE(t.is_contiguous());
+  EXPECT_EQ(t.blocks()[1].offset, 10u);
+}
+
+TEST(Datatype, VectorWithTightStrideIsContiguous) {
+  const auto t = Datatype::vector(4, 8, 8);
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.packed_size(), Bytes(32));
+}
+
+TEST(Datatype, RejectsInvalidConstructions) {
+  EXPECT_THROW(Datatype::vector(3, 10, 4), std::invalid_argument);
+  EXPECT_THROW(Datatype::indexed({Block{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Datatype::indexed({Block{0, 10}, Block{5, 10}}),
+               std::invalid_argument);
+}
+
+TEST(Datatype, PackGathersStridedBytes) {
+  const auto t = Datatype::vector(3, 2, 5);
+  const auto src = numbered_buffer(16);
+  const auto packed = pack(src, t);
+  EXPECT_EQ(packed, (std::vector<std::uint8_t>{0, 1, 5, 6, 10, 11}));
+}
+
+TEST(Datatype, PackRejectsShortSource) {
+  const auto t = Datatype::vector(3, 2, 5);
+  EXPECT_THROW(pack(numbered_buffer(10), t), std::out_of_range);
+}
+
+TEST(Datatype, UnpackRejectsSizeMismatch) {
+  const auto t = Datatype::contiguous(8);
+  std::vector<std::uint8_t> target(8);
+  EXPECT_THROW(unpack(numbered_buffer(4), t, target), std::invalid_argument);
+}
+
+struct LayoutCase {
+  std::size_t count;
+  std::size_t block;
+  std::size_t stride;
+};
+
+class PackRoundTrip : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(PackRoundTrip, UnpackRestoresEveryDescribedByte) {
+  const auto [count, block, stride] = GetParam();
+  const auto t = Datatype::vector(count, block, stride);
+  const auto src = numbered_buffer(t.extent() + 7);
+
+  const auto packed = pack(src, t);
+  ASSERT_EQ(packed.size(), t.packed_size().count());
+
+  std::vector<std::uint8_t> target(src.size(), 0xEE);
+  unpack(packed, t, target);
+
+  // Described bytes restored; gap bytes untouched.
+  std::vector<bool> described(src.size(), false);
+  for (const Block& b : t.blocks()) {
+    for (std::size_t i = 0; i < b.length; ++i) described[b.offset + i] = true;
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (described[i]) {
+      EXPECT_EQ(target[i], src[i]) << "byte " << i;
+    } else {
+      EXPECT_EQ(target[i], 0xEE) << "byte " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, PackRoundTrip,
+    ::testing::Values(LayoutCase{1, 16, 16}, LayoutCase{4, 4, 4},
+                      LayoutCase{4, 4, 9}, LayoutCase{16, 1, 3},
+                      LayoutCase{3, 128, 200}, LayoutCase{64, 8, 64}));
+
+TEST(Datatype, RandomIndexedRoundTrips) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Non-overlapping random blocks.
+    std::vector<Block> blocks;
+    std::size_t offset = 0;
+    const std::size_t n_blocks = 1 + rng.below(8);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      offset += rng.below(20);
+      const std::size_t len = 1 + rng.below(30);
+      blocks.push_back(Block{offset, len});
+      offset += len;
+    }
+    const auto t = Datatype::indexed(blocks);
+    const auto src = numbered_buffer(t.extent());
+    std::vector<std::uint8_t> target(t.extent(), 0);
+    unpack(pack(src, t), t, target);
+    for (const Block& b : t.blocks()) {
+      for (std::size_t i = 0; i < b.length; ++i) {
+        ASSERT_EQ(target[b.offset + i], src[b.offset + i]);
+      }
+    }
+  }
+}
+
+TEST(Datatype, MatrixColumnSelectsColumnZero) {
+  // 4x3 matrix of 2-byte elements; column datatype picks bytes (0,1),
+  // (6,7), (12,13), (18,19).
+  const auto t = matrix_column(4, 3, 2);
+  const auto src = numbered_buffer(24);
+  const auto packed = pack(src, t);
+  EXPECT_EQ(packed, (std::vector<std::uint8_t>{0, 1, 6, 7, 12, 13, 18, 19}));
+}
+
+TEST(DatatypeCost, StridedPackCostsMoreThanContiguous) {
+  hw::MemoryHierarchy mem;
+  // Same payload (1 MiB), contiguous vs column-strided.
+  const auto contig = Datatype::contiguous(1 << 20);
+  const auto strided = Datatype::vector(1 << 17, 8, 64);
+  EXPECT_GT(host_pack_time(mem, strided).as_seconds(),
+            2.0 * host_pack_time(mem, contig).as_seconds());
+}
+
+TEST(DatatypeCost, PerBlockOverheadDominatesTinyBlocks) {
+  hw::MemoryHierarchy mem;
+  // 64Ki blocks of 1 byte: overhead term = 64Ki * 60 ns ~ 3.9 ms.
+  const auto tiny = Datatype::vector(1 << 16, 1, 16);
+  EXPECT_GT(host_pack_time(mem, tiny).as_millis(), 3.0);
+}
+
+}  // namespace
+}  // namespace acc::dtype

@@ -1,0 +1,115 @@
+// Cross-module integration: full application runs under combined
+// stresses (prototype hardware + loss + hardware retransmit + skew), and
+// end-to-end invariants that span several subsystems.
+#include <gtest/gtest.h>
+
+#include "apps/fft_app.hpp"
+#include "apps/sort_app.hpp"
+#include "core/report.hpp"
+#include "model/fft_model.hpp"
+
+namespace acc {
+namespace {
+
+TEST(Integration, FullFftOnPrototypeInicVerifies) {
+  apps::SimCluster cluster(8, apps::Interconnect::kInicPrototype);
+  apps::FftRunOptions opts;
+  opts.verify = true;
+  const auto r = run_parallel_fft(cluster, 128, opts);
+  EXPECT_TRUE(r.verified);
+
+  const auto report = core::collect_report(cluster);
+  // The prototype still eliminates host interrupts entirely.
+  EXPECT_EQ(report.total_interrupts(), 0u);
+  EXPECT_EQ(report.frames_dropped, 0u);
+}
+
+TEST(Integration, SortOnPrototypeWithSkewAndSplittersVerifies) {
+  apps::SimCluster cluster(8, apps::Interconnect::kInicPrototype);
+  apps::SortRunOptions opts;
+  opts.verify = true;
+  opts.distribution = apps::KeyDistribution::kGaussian;
+  opts.sampling_splitters = true;
+  const auto r = run_parallel_sort(cluster, std::size_t{1} << 16, opts);
+  EXPECT_TRUE(r.verified);
+  // Prototype: host phase-2 refinement present, phase-1 absorbed.
+  EXPECT_EQ(r.bucket_phase1, Time::zero());
+  EXPECT_GT(r.bucket_phase2, Time::zero());
+}
+
+TEST(Integration, FftOverLossyTcpVerifiesAndRecovers) {
+  apps::SimCluster cluster(4, apps::Interconnect::kGigabitTcp);
+  cluster.network().set_random_loss(0.03, 17);
+  apps::FftRunOptions opts;
+  opts.verify = true;
+  const auto r = run_parallel_fft(cluster, 64, opts);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(cluster.network().frames_dropped(), 0u);
+}
+
+TEST(Integration, ConservationOfBytesThroughTheFabric) {
+  // Every payload byte the FFT transpose exchanges must cross the
+  // fabric exactly once (no loss, no duplication) on the INIC path.
+  apps::SimCluster cluster(8, apps::Interconnect::kInicIdeal);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  const std::size_t n = 256;
+  run_parallel_fft(cluster, n, opts);
+
+  // Expected payload: 2 transposes x P nodes x (P-1)/P of the partition,
+  // plus per-packet INIC headers and credit frames on the wire.
+  const std::size_t p_count = 8;
+  const std::uint64_t partition = n * n * 16 / p_count;
+  const std::uint64_t payload =
+      2ull * p_count * (partition * (p_count - 1) / p_count);
+  const double wire =
+      static_cast<double>(cluster.network().bytes_forwarded().count());
+  EXPECT_GT(wire, static_cast<double>(payload));        // headers exist
+  EXPECT_LT(wire, 1.15 * static_cast<double>(payload)); // but are small
+  EXPECT_EQ(cluster.network().frames_dropped(), 0u);
+}
+
+TEST(Integration, AnalyticAndSimulatedFigure4aAgreeInShape) {
+  // The two INIC estimates (closed-form model, discrete-event simulator)
+  // must rank processor counts identically and stay within a constant
+  // factor — the cross-check behind EXPERIMENTS.md's caveat #3.
+  model::FftAnalyticModel m;
+  double prev_ratio = 0.0;
+  for (std::size_t p : {2, 4, 8, 16}) {
+    apps::SimCluster cluster(p, apps::Interconnect::kInicIdeal);
+    apps::FftRunOptions opts;
+    opts.verify = false;
+    const auto sim = run_parallel_fft(cluster, 512, opts);
+    const double ratio =
+        m.inic_total_time(512, p).as_seconds() / sim.total.as_seconds();
+    EXPECT_GT(ratio, 0.6) << "P=" << p;
+    EXPECT_LT(ratio, 1.5) << "P=" << p;
+    if (prev_ratio > 0.0) {
+      EXPECT_NEAR(ratio, prev_ratio, 0.45);  // no wild divergence with P
+    }
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Integration, SpeedupOrderingAcrossInterconnects) {
+  // Paper-wide invariant at every P: FastE <= GigE <= prototype <= ideal
+  // INIC for the FFT (Figure 8a's ordering).
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  for (std::size_t p : {4, 8, 16}) {
+    std::vector<double> totals;
+    for (auto ic :
+         {apps::Interconnect::kInicIdeal, apps::Interconnect::kInicPrototype,
+          apps::Interconnect::kGigabitTcp,
+          apps::Interconnect::kFastEthernetTcp}) {
+      apps::SimCluster cluster(p, ic);
+      totals.push_back(run_parallel_fft(cluster, 512, opts).total.as_seconds());
+    }
+    EXPECT_LE(totals[0], totals[1]) << "ideal vs prototype P=" << p;
+    EXPECT_LE(totals[1], totals[2]) << "prototype vs GigE P=" << p;
+    EXPECT_LE(totals[2], totals[3]) << "GigE vs FastE P=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace acc

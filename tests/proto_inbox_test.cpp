@@ -1,0 +1,86 @@
+// TaggedInbox: tag matching, stash behaviour, FIFO within a tag.
+#include "proto/tagged_inbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/process.hpp"
+
+namespace acc::proto {
+namespace {
+
+Message msg(std::uint64_t tag, std::uint64_t id) {
+  Message m;
+  m.tag = tag;
+  m.id = id;
+  return m;
+}
+
+TEST(TaggedInbox, DeliversMatchingTagDirectly) {
+  sim::Engine eng;
+  sim::Channel<Message> ch(eng);
+  TaggedInbox inbox(ch);
+  ch.send_now(msg(5, 1));
+
+  Message out;
+  sim::ProcessGroup group(eng);
+  group.spawn([](TaggedInbox& i, Message& o) -> sim::Process {
+    co_await i.recv(5, o);
+  }(inbox, out));
+  group.join();
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_EQ(inbox.stashed(), 0u);
+}
+
+TEST(TaggedInbox, StashesForeignTagsUntilRequested) {
+  sim::Engine eng;
+  sim::Channel<Message> ch(eng);
+  TaggedInbox inbox(ch);
+  ch.send_now(msg(9, 1));  // future round
+  ch.send_now(msg(9, 2));
+  ch.send_now(msg(5, 3));  // current round
+
+  Message first, second, third;
+  sim::ProcessGroup group(eng);
+  group.spawn([](TaggedInbox& i, Message& a, Message& b, Message& c)
+                  -> sim::Process {
+    co_await i.recv(5, a);  // skips the two tag-9 messages
+    co_await i.recv(9, b);
+    co_await i.recv(9, c);
+  }(inbox, first, second, third));
+  group.join();
+
+  EXPECT_EQ(first.id, 3u);
+  // FIFO within the stashed tag.
+  EXPECT_EQ(second.id, 1u);
+  EXPECT_EQ(third.id, 2u);
+  EXPECT_EQ(inbox.stashed(), 0u);
+}
+
+TEST(TaggedInbox, SuspendsUntilTaggedMessageArrives) {
+  sim::Engine eng;
+  sim::Channel<Message> ch(eng);
+  TaggedInbox inbox(ch);
+
+  Message out;
+  Time got_at = Time::zero();
+  sim::ProcessGroup group(eng);
+  group.spawn([](TaggedInbox& i, Message& o, sim::Engine& e, Time& at)
+                  -> sim::Process {
+    co_await i.recv(7, o);
+    at = e.now();
+  }(inbox, out, eng, got_at));
+  group.spawn([](sim::Channel<Message>& c, sim::Engine& e) -> sim::Process {
+    co_await sim::Delay{e, Time::millis(1)};
+    c.send_now(msg(3, 10));  // wrong tag: stays stashed
+    co_await sim::Delay{e, Time::millis(1)};
+    c.send_now(msg(7, 11));
+  }(ch, eng));
+  group.join();
+
+  EXPECT_EQ(out.id, 11u);
+  EXPECT_EQ(got_at, Time::millis(2));
+  EXPECT_EQ(inbox.stashed(), 1u);  // the tag-3 message still waits
+}
+
+}  // namespace
+}  // namespace acc::proto

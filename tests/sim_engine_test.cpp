@@ -1,0 +1,113 @@
+// Unit tests for the discrete-event engine: ordering, time advance,
+// run_until semantics, and failure propagation.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace acc::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), Time::zero());
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.events_executed(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(Time::micros(30), [&] { order.push_back(3); });
+  eng.schedule(Time::micros(10), [&] { order.push_back(1); });
+  eng.schedule(Time::micros(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::micros(30));
+}
+
+TEST(Engine, SameInstantEventsRunFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule(Time::micros(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesClock) {
+  Engine eng;
+  Time inner_time = Time::zero();
+  eng.schedule(Time::millis(1), [&] {
+    eng.schedule(Time::millis(2), [&] { inner_time = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(inner_time, Time::millis(3));
+  EXPECT_EQ(eng.events_executed(), 2u);
+}
+
+TEST(Engine, ZeroDelayEventRunsAtCurrentTime) {
+  Engine eng;
+  Time when = Time::max();
+  eng.schedule(Time::micros(7), [&] {
+    eng.schedule(Time::zero(), [&] { when = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(when, Time::micros(7));
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine eng;
+  EXPECT_FALSE(eng.step());
+  eng.schedule(Time::micros(1), [] {});
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int ran = 0;
+  eng.schedule(Time::millis(1), [&] { ++ran; });
+  eng.schedule(Time::millis(5), [&] { ++ran; });
+  eng.run_until(Time::millis(2));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(eng.now(), Time::millis(2));
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, RunUntilIncludesEventsAtDeadline) {
+  Engine eng;
+  bool ran = false;
+  eng.schedule(Time::millis(2), [&] { ran = true; });
+  eng.run_until(Time::millis(2));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, RunUntilAdvancesIdleClock) {
+  Engine eng;
+  eng.run_until(Time::seconds(1));
+  EXPECT_EQ(eng.now(), Time::seconds(1));
+}
+
+TEST(Engine, ReportedFailureRethrownByRun) {
+  Engine eng;
+  eng.schedule(Time::micros(1), [&] {
+    eng.report_failure(std::make_exception_ptr(std::runtime_error("boom")));
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  Engine eng;
+  for (int i = 0; i < 5; ++i) eng.schedule(Time::micros(i + 1), [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace acc::sim
