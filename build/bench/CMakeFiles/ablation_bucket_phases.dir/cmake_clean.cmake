@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_phases.dir/ablation_bucket_phases.cpp.o"
+  "CMakeFiles/ablation_bucket_phases.dir/ablation_bucket_phases.cpp.o.d"
+  "ablation_bucket_phases"
+  "ablation_bucket_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

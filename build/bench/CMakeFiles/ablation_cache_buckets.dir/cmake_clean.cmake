@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_buckets.dir/ablation_cache_buckets.cpp.o"
+  "CMakeFiles/ablation_cache_buckets.dir/ablation_cache_buckets.cpp.o.d"
+  "ablation_cache_buckets"
+  "ablation_cache_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compute_accelerator.dir/ablation_compute_accelerator.cpp.o"
+  "CMakeFiles/ablation_compute_accelerator.dir/ablation_compute_accelerator.cpp.o.d"
+  "ablation_compute_accelerator"
+  "ablation_compute_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compute_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_derived_datatypes.dir/ablation_derived_datatypes.cpp.o"
+  "CMakeFiles/ablation_derived_datatypes.dir/ablation_derived_datatypes.cpp.o.d"
+  "ablation_derived_datatypes"
+  "ablation_derived_datatypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_derived_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

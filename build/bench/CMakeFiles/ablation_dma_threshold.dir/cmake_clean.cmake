@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dma_threshold.dir/ablation_dma_threshold.cpp.o"
+  "CMakeFiles/ablation_dma_threshold.dir/ablation_dma_threshold.cpp.o.d"
+  "ablation_dma_threshold"
+  "ablation_dma_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dma_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

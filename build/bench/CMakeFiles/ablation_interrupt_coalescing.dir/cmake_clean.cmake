@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interrupt_coalescing.dir/ablation_interrupt_coalescing.cpp.o"
+  "CMakeFiles/ablation_interrupt_coalescing.dir/ablation_interrupt_coalescing.cpp.o.d"
+  "ablation_interrupt_coalescing"
+  "ablation_interrupt_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interrupt_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

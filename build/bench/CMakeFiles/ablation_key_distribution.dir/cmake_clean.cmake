@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_key_distribution.dir/ablation_key_distribution.cpp.o"
+  "CMakeFiles/ablation_key_distribution.dir/ablation_key_distribution.cpp.o.d"
+  "ablation_key_distribution"
+  "ablation_key_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_key_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

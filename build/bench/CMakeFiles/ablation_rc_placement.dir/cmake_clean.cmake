@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rc_placement.dir/ablation_rc_placement.cpp.o"
+  "CMakeFiles/ablation_rc_placement.dir/ablation_rc_placement.cpp.o.d"
+  "ablation_rc_placement"
+  "ablation_rc_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

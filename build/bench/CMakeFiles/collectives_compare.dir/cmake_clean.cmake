@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_compare.dir/collectives_compare.cpp.o"
+  "CMakeFiles/collectives_compare.dir/collectives_compare.cpp.o.d"
+  "collectives_compare"
+  "collectives_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

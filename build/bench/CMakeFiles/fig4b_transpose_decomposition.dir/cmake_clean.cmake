@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_transpose_decomposition.dir/fig4b_transpose_decomposition.cpp.o"
+  "CMakeFiles/fig4b_transpose_decomposition.dir/fig4b_transpose_decomposition.cpp.o.d"
+  "fig4b_transpose_decomposition"
+  "fig4b_transpose_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_transpose_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

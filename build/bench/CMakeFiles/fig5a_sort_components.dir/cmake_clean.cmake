@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_sort_components.dir/fig5a_sort_components.cpp.o"
+  "CMakeFiles/fig5a_sort_components.dir/fig5a_sort_components.cpp.o.d"
+  "fig5a_sort_components"
+  "fig5a_sort_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_sort_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

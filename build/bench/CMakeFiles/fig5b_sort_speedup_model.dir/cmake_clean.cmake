@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_sort_speedup_model.dir/fig5b_sort_speedup_model.cpp.o"
+  "CMakeFiles/fig5b_sort_speedup_model.dir/fig5b_sort_speedup_model.cpp.o.d"
+  "fig5b_sort_speedup_model"
+  "fig5b_sort_speedup_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_sort_speedup_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_sort_speedup_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5b_sort_speedup_model.
+# This may be replaced when dependencies are built.

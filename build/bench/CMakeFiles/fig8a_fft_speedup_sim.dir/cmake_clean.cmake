@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_fft_speedup_sim.dir/fig8a_fft_speedup_sim.cpp.o"
+  "CMakeFiles/fig8a_fft_speedup_sim.dir/fig8a_fft_speedup_sim.cpp.o.d"
+  "fig8a_fft_speedup_sim"
+  "fig8a_fft_speedup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_fft_speedup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_fft_speedup_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_sort_speedup_sim.dir/fig8b_sort_speedup_sim.cpp.o"
+  "CMakeFiles/fig8b_sort_speedup_sim.dir/fig8b_sort_speedup_sim.cpp.o.d"
+  "fig8b_sort_speedup_sim"
+  "fig8b_sort_speedup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_sort_speedup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

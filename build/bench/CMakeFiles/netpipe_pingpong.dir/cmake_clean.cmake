@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpipe_pingpong.dir/netpipe_pingpong.cpp.o"
+  "CMakeFiles/netpipe_pingpong.dir/netpipe_pingpong.cpp.o.d"
+  "netpipe_pingpong"
+  "netpipe_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpipe_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

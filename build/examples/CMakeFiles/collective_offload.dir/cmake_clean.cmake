@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_offload.dir/collective_offload.cpp.o"
+  "CMakeFiles/collective_offload.dir/collective_offload.cpp.o.d"
+  "collective_offload"
+  "collective_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

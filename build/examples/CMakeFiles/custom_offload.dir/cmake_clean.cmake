@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_offload.dir/custom_offload.cpp.o"
+  "CMakeFiles/custom_offload.dir/custom_offload.cpp.o.d"
+  "custom_offload"
+  "custom_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

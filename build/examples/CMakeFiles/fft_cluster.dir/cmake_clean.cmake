@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_cluster.dir/fft_cluster.cpp.o"
+  "CMakeFiles/fft_cluster.dir/fft_cluster.cpp.o.d"
+  "fft_cluster"
+  "fft_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intsort_cluster.dir/intsort_cluster.cpp.o"
+  "CMakeFiles/intsort_cluster.dir/intsort_cluster.cpp.o.d"
+  "intsort_cluster"
+  "intsort_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intsort_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/fft.cpp" "src/CMakeFiles/acc.dir/algo/fft.cpp.o" "gcc" "src/CMakeFiles/acc.dir/algo/fft.cpp.o.d"
+  "/root/repo/src/algo/sort.cpp" "src/CMakeFiles/acc.dir/algo/sort.cpp.o" "gcc" "src/CMakeFiles/acc.dir/algo/sort.cpp.o.d"
+  "/root/repo/src/apps/cluster.cpp" "src/CMakeFiles/acc.dir/apps/cluster.cpp.o" "gcc" "src/CMakeFiles/acc.dir/apps/cluster.cpp.o.d"
+  "/root/repo/src/apps/fft_app.cpp" "src/CMakeFiles/acc.dir/apps/fft_app.cpp.o" "gcc" "src/CMakeFiles/acc.dir/apps/fft_app.cpp.o.d"
+  "/root/repo/src/apps/sort_app.cpp" "src/CMakeFiles/acc.dir/apps/sort_app.cpp.o" "gcc" "src/CMakeFiles/acc.dir/apps/sort_app.cpp.o.d"
+  "/root/repo/src/collectives/collectives.cpp" "src/CMakeFiles/acc.dir/collectives/collectives.cpp.o" "gcc" "src/CMakeFiles/acc.dir/collectives/collectives.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/acc.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/acc.dir/common/units.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/acc.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/acc.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/acc.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/acc.dir/core/report.cpp.o.d"
+  "/root/repo/src/dtype/datatype.cpp" "src/CMakeFiles/acc.dir/dtype/datatype.cpp.o" "gcc" "src/CMakeFiles/acc.dir/dtype/datatype.cpp.o.d"
+  "/root/repo/src/inic/card.cpp" "src/CMakeFiles/acc.dir/inic/card.cpp.o" "gcc" "src/CMakeFiles/acc.dir/inic/card.cpp.o.d"
+  "/root/repo/src/model/fft_model.cpp" "src/CMakeFiles/acc.dir/model/fft_model.cpp.o" "gcc" "src/CMakeFiles/acc.dir/model/fft_model.cpp.o.d"
+  "/root/repo/src/model/sort_model.cpp" "src/CMakeFiles/acc.dir/model/sort_model.cpp.o" "gcc" "src/CMakeFiles/acc.dir/model/sort_model.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/acc.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/acc.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/acc.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/acc.dir/net/nic.cpp.o.d"
+  "/root/repo/src/proto/tcp.cpp" "src/CMakeFiles/acc.dir/proto/tcp.cpp.o" "gcc" "src/CMakeFiles/acc.dir/proto/tcp.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/acc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/acc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/acc.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/acc.dir/sim/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

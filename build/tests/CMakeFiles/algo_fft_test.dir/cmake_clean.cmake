@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_fft_test.dir/algo_fft_test.cpp.o"
+  "CMakeFiles/algo_fft_test.dir/algo_fft_test.cpp.o.d"
+  "algo_fft_test"
+  "algo_fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

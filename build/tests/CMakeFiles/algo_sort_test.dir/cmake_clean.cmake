@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_sort_test.dir/algo_sort_test.cpp.o"
+  "CMakeFiles/algo_sort_test.dir/algo_sort_test.cpp.o.d"
+  "algo_sort_test"
+  "algo_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

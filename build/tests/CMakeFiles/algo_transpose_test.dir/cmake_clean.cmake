@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_transpose_test.dir/algo_transpose_test.cpp.o"
+  "CMakeFiles/algo_transpose_test.dir/algo_transpose_test.cpp.o.d"
+  "algo_transpose_test"
+  "algo_transpose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_transpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

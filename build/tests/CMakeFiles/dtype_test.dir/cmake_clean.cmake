@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtype_test.dir/dtype_test.cpp.o"
+  "CMakeFiles/dtype_test.dir/dtype_test.cpp.o.d"
+  "dtype_test"
+  "dtype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

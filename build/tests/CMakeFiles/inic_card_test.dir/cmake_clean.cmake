@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inic_card_test.dir/inic_card_test.cpp.o"
+  "CMakeFiles/inic_card_test.dir/inic_card_test.cpp.o.d"
+  "inic_card_test"
+  "inic_card_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inic_card_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

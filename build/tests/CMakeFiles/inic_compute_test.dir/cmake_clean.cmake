@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inic_compute_test.dir/inic_compute_test.cpp.o"
+  "CMakeFiles/inic_compute_test.dir/inic_compute_test.cpp.o.d"
+  "inic_compute_test"
+  "inic_compute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inic_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

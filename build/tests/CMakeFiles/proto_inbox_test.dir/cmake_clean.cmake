@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_inbox_test.dir/proto_inbox_test.cpp.o"
+  "CMakeFiles/proto_inbox_test.dir/proto_inbox_test.cpp.o.d"
+  "proto_inbox_test"
+  "proto_inbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_inbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

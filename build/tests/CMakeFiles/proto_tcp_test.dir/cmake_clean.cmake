@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_tcp_test.dir/proto_tcp_test.cpp.o"
+  "CMakeFiles/proto_tcp_test.dir/proto_tcp_test.cpp.o.d"
+  "proto_tcp_test"
+  "proto_tcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
