@@ -1,8 +1,23 @@
 #include "apps/cluster.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 namespace acc::apps {
+
+namespace {
+
+/// Index of this cluster among all clusters constructed in the process —
+/// used to give each one a distinct ACC_TRACE output file.
+int next_trace_file_index() {
+  static int next = 0;
+  return ++next;
+}
+
+}  // namespace
 
 const char* to_string(Interconnect ic) {
   switch (ic) {
@@ -25,6 +40,20 @@ bool is_inic(Interconnect ic) {
 SimCluster::SimCluster(std::size_t n, Interconnect ic,
                        const model::Calibration& cal)
     : ic_(ic), cal_(cal) {
+  // Environment-driven tracing (documented on tracer()): any existing
+  // example or benchmark can be traced without code changes.
+  if (const char* path = std::getenv("ACC_TRACE"); path && *path) {
+    env_trace_json_ = true;
+    eng_.tracer().enable();
+  }
+  if (const char* flag = std::getenv("ACC_TRACE_DIGEST");
+      flag && *flag && *flag != '0') {
+    env_trace_digest_ = true;
+    // A tiny ring suffices: the digest covers every emitted record
+    // regardless of retention.
+    if (!eng_.tracer().enabled()) eng_.tracer().enable(/*ring_capacity=*/64);
+  }
+
   net::NetworkConfig net_cfg;
   net_cfg.line_rate = ic == Interconnect::kFastEthernetTcp
                           ? cal.fast_ethernet_line_rate
@@ -87,6 +116,20 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
       tcp_.push_back(
           std::make_unique<proto::TcpStack>(*nodes_[i], *nics_[i], tcp_cfg));
     }
+  }
+}
+
+SimCluster::~SimCluster() {
+  if (env_trace_json_) {
+    std::string path = std::getenv("ACC_TRACE");
+    const int index = next_trace_file_index();
+    if (index > 1) path += "." + std::to_string(index);
+    std::ofstream out(path);
+    if (out) eng_.tracer().write_chrome_json(out);
+  }
+  if (env_trace_digest_) {
+    std::fprintf(stderr, "acc-trace-digest %016llx\n",
+                 static_cast<unsigned long long>(eng_.tracer().digest()));
   }
 }
 

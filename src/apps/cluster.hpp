@@ -35,7 +35,20 @@ class SimCluster {
   SimCluster(std::size_t n, Interconnect ic,
              const model::Calibration& cal = model::default_calibration());
 
+  /// Flushes environment-requested trace output (see ctor notes).
+  ~SimCluster();
+
   sim::Engine& engine() { return eng_; }
+
+  /// The engine's trace stream; enable() it before a run to record.
+  /// Also honours two environment variables (checked at construction):
+  ///   ACC_TRACE=<path>    — record and write Chrome trace JSON to <path>
+  ///                         at destruction (later clusters in the same
+  ///                         process write <path>.2, <path>.3, ...);
+  ///   ACC_TRACE_DIGEST=1  — record into a small ring and print
+  ///                         "acc-trace-digest <hex>" to stderr at
+  ///                         destruction (determinism checks).
+  trace::Tracer& tracer() { return eng_.tracer(); }
   std::size_t size() const { return nodes_.size(); }
   Interconnect interconnect() const { return ic_; }
 
@@ -49,6 +62,8 @@ class SimCluster {
   sim::Engine eng_;
   Interconnect ic_;
   model::Calibration cal_;
+  bool env_trace_json_ = false;
+  bool env_trace_digest_ = false;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
   std::vector<std::unique_ptr<net::StandardNic>> nics_;

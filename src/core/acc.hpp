@@ -13,6 +13,7 @@
 //   apps/    distributed 2D-FFT and integer sort on simulated clusters
 //   model/   the paper's analytic models (Equations 3-17) + calibration
 //   core/    experiment runners producing the paper's figure series
+//   trace/   deterministic event tracing + counters (any layer may emit)
 #pragma once
 
 #include "algo/fft.hpp"
@@ -37,3 +38,5 @@
 #include "proto/tcp.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"

@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include <cstdio>
+
 #include "common/table.hpp"
 
 namespace acc::core {
@@ -41,6 +43,13 @@ void ClusterReport::print(std::ostream& os) const {
   os << "fabric: " << frames_forwarded << " frames / "
      << to_string(bytes_forwarded) << " forwarded, " << frames_dropped
      << " dropped, peak port buffer " << to_string(peak_port_buffer) << "\n";
+  if (trace_records > 0) {
+    char digest_hex[17];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(trace_digest));
+    os << "trace: " << trace_records << " records, digest " << digest_hex
+       << "\n";
+  }
 }
 
 ClusterReport collect_report(apps::SimCluster& cluster) {
@@ -69,6 +78,9 @@ ClusterReport collect_report(apps::SimCluster& cluster) {
   report.frames_dropped = cluster.network().frames_dropped();
   report.bytes_forwarded = cluster.network().bytes_forwarded();
   report.peak_port_buffer = cluster.network().peak_buffer_occupancy();
+  report.counters = cluster.engine().counters().snapshot();
+  report.trace_records = cluster.tracer().records_emitted();
+  report.trace_digest = cluster.tracer().digest();
   return report;
 }
 

@@ -13,6 +13,7 @@
 
 #include "apps/cluster.hpp"
 #include "common/units.hpp"
+#include "trace/counters.hpp"
 
 namespace acc::core {
 
@@ -37,6 +38,14 @@ struct ClusterReport {
   std::uint64_t frames_dropped = 0;
   Bytes bytes_forwarded = Bytes::zero();
   Bytes peak_port_buffer = Bytes::zero();
+
+  /// Full counter snapshot (deterministic order) from the engine's
+  /// CounterRegistry — the same instrumentation the per-node columns are
+  /// derived from, without the aggregation.
+  std::vector<trace::CounterSample> counters;
+  /// Trace stream summary: zero records unless tracing was enabled.
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_digest = 0;
 
   /// Totals across nodes.
   Time total_interrupt_time() const;

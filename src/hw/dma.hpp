@@ -22,8 +22,9 @@ struct DmaConfig {
 
 class DmaEngine {
  public:
-  DmaEngine(sim::FifoResource& bus, const DmaConfig& cfg = {})
-      : bus_(bus), cfg_(cfg) {
+  DmaEngine(sim::FifoResource& bus, const DmaConfig& cfg = {},
+            int node_id = -1)
+      : bus_(bus), cfg_(cfg), node_id_(node_id) {
     assert(cfg_.max_burst.count() > 0);
   }
 
@@ -36,7 +37,8 @@ class DmaEngine {
   /// Books the transfer and returns its completion time (for pipelined
   /// device models that wait later).
   Time enqueue(Bytes size) {
-    Time done = bus_.available_at();
+    const Time start = bus_.available_at();
+    Time done = start;
     std::uint64_t remaining = size.count();
     const std::uint64_t burst = cfg_.max_burst.count();
     do {
@@ -45,6 +47,11 @@ class DmaEngine {
       done = bus_.enqueue(Bytes(this_burst));
       remaining -= this_burst;
     } while (remaining > 0);
+    // One span per transfer, covering every setup+payload burst it was
+    // split into (the bus is FCFS, so [start, done) is exact).
+    bus_engine().tracer().span(trace::Category::kDma, node_id_, "dma/transfer",
+                               start, done - start,
+                               static_cast<std::int64_t>(size.count()));
     return done;
   }
 
@@ -69,6 +76,7 @@ class DmaEngine {
 
   sim::FifoResource& bus_;
   DmaConfig cfg_;
+  int node_id_;
 };
 
 }  // namespace acc::hw

@@ -74,6 +74,8 @@ class InterruptCoalescer {
     ++timeout_generation_;  // cancel any armed timeout
     if (pending_ > 0) arm_timeout();  // leftovers start a fresh window
     ++fired_;
+    eng_.tracer().instant(trace::Category::kIrq, cpu_.node_id(), "irq/fire",
+                          eng_.now(), static_cast<std::int64_t>(batch));
     const Time done = cpu_.charge_interrupt(cfg_.service_cost);
     eng_.schedule_at(done, [this, batch] { deliver_(batch); });
   }

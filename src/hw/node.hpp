@@ -29,9 +29,9 @@ class Node {
   Node(sim::Engine& eng, int id, const NodeConfig& cfg = {})
       : id_(id),
         eng_(eng),
-        cpu_(eng, cfg.cpu, cfg.memory),
+        cpu_(eng, cfg.cpu, cfg.memory, id),
         pci_(eng, cfg.pci_bandwidth, "pci-node" + std::to_string(id)),
-        dma_(pci_, cfg.dma) {}
+        dma_(pci_, cfg.dma, id) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;

@@ -29,7 +29,12 @@ InicCard::InicCard(hw::Node& node, net::Network& network,
       net_rx_(node.engine(),
               std::min(cfg.net_rate, network.line_rate()),
               "inic-rx-" + std::to_string(node.id())),
-      card_inbox_(node.engine()) {
+      card_inbox_(node.engine()),
+      bursts_sent_(counter("inic/bursts_sent")),
+      credits_received_(counter("inic/credits_received")),
+      retransmits_(counter("inic/retransmits")),
+      duplicates_dropped_(counter("inic/duplicates_dropped")),
+      bytes_to_host_(counter("inic/bytes_to_host")) {
   if (cfg_.shared_card_bus) {
     card_bus_ = std::make_unique<sim::FifoResource>(
         node.engine(), cfg_.card_bus_rate,
@@ -37,6 +42,13 @@ InicCard::InicCard(hw::Node& node, net::Network& network,
   }
   network_.attach(node.id(), *this);
 }
+
+trace::Counter& InicCard::counter(const char* name) {
+  return node_.engine().counters().get(trace::Category::kInic, node_.id(),
+                                       name);
+}
+
+trace::Tracer& InicCard::tracer() { return node_.engine().tracer(); }
 
 Time InicCard::book_stage(sim::FifoResource& stage, Bytes size) {
   const Time stage_done = stage.enqueue(size);
@@ -85,6 +97,9 @@ sim::Process InicCard::send_stream(int dst, Bytes size, std::uint64_t tag,
     // Stage 1: host -> card memory (booked immediately; the card's
     // memory buffers ahead of the transmitter).
     const Time in_card = book_stage(host_dma_, Bytes(burst));
+    tracer().span(trace::Category::kInic, node_.id(), "inic/host_dma",
+                  eng.now(), in_card - eng.now(),
+                  static_cast<std::int64_t>(burst));
 
     // Flow control: one credit per burst in flight to this destination.
     co_await credits.acquire();
@@ -106,7 +121,7 @@ sim::Process InicCard::send_stream(int dst, Bytes size, std::uint64_t tag,
 
     // Stage 2: card memory -> MAC, not before the data is on the card.
     const Time tx_done = transmit_burst(frame, in_card + cfg_.card_latency);
-    ++bursts_sent_;
+    bursts_sent_.add(eng.now(), 1);
     track_outstanding(dst, frame);
 
     seq += burst;
@@ -125,6 +140,9 @@ Time InicCard::transmit_burst(const net::Frame& frame, Time not_before) {
       card_bus_ ? std::max(net_tx_.enqueue_after(not_before, frame.wire),
                            card_bus_->enqueue_after(not_before, frame.wire))
                 : net_tx_.enqueue_after(not_before, frame.wire);
+  tracer().span(trace::Category::kInic, node_.id(), "inic/tx_burst",
+                eng.now(), tx_done - eng.now(),
+                static_cast<std::int64_t>(frame.wire.count()));
   // Cut-through into the fabric after the first packet.
   Time inject_at =
       tx_done - transfer_time(frame.wire, net_tx_.rate()) + packet_time;
@@ -164,7 +182,9 @@ void InicCard::check_retransmit(int dst, std::uint64_t generation) {
   for (OutstandingBurst& burst : it->second) {
     transmit_burst(burst.frame, eng.now() + cfg_.card_latency);
     burst.sent_at = eng.now();
-    ++retransmits_;
+    retransmits_.add(eng.now(), 1);
+    tracer().instant(trace::Category::kInic, node_.id(), "inic/retransmit",
+                     eng.now(), static_cast<std::int64_t>(burst.frame.seq));
   }
   arm_retransmit_timer(dst);
 }
@@ -180,7 +200,7 @@ void InicCard::deliver(const net::Frame& frame) {
     auto it = outstanding_.find(frame.src);
     if (it == outstanding_.end() || it->second.empty()) return;
     it->second.pop_front();
-    ++credits_received_;
+    credits_received_.add(eng.now(), 1);
     credits_for(frame.src).release();
     if (cfg_.hw_retransmit && !it->second.empty()) {
       arm_retransmit_timer(frame.src);
@@ -191,6 +211,9 @@ void InicCard::deliver(const net::Frame& frame) {
 
   // Ingest at the card's network rate (plus the shared bus, prototype).
   const Time ingested = book_stage(net_rx_, frame.wire) + cfg_.card_latency;
+  tracer().span(trace::Category::kInic, node_.id(), "inic/rx_ingest",
+                eng.now(), ingested - eng.now(),
+                static_cast<std::int64_t>(frame.wire.count()));
 
   eng.schedule_at(ingested, [this, frame] {
     const std::uint64_t key = stream_key(frame.src, frame.flow);
@@ -215,13 +238,13 @@ void InicCard::deliver(const net::Frame& frame) {
       // Gap: an earlier burst (possibly the header) was lost.  Drop
       // without credit; the sender's go-back-N resends from the gap.
       if (!stream.started) inbound_.erase(key);
-      ++duplicates_dropped_;
+      duplicates_dropped_.add(node_.engine().now(), 1);
       return;
     }
     if (frame.seq < stream.next_seq) {
       // Duplicate of an already-consumed burst (its credit was lost):
       // re-credit but do not consume.
-      ++duplicates_dropped_;
+      duplicates_dropped_.add(node_.engine().now(), 1);
       send_credit(frame.src);
       return;
     }
@@ -238,6 +261,9 @@ void InicCard::deliver(const net::Frame& frame) {
         msg.payload = recv_transform_(std::move(msg.payload));
       }
       msg.delivered_at = node_.engine().now();
+      tracer().instant(trace::Category::kInic, node_.id(),
+                       "inic/msg_complete", node_.engine().now(),
+                       static_cast<std::int64_t>(msg.size.count()));
       card_inbox_.send_now(std::move(msg));
     }
   });
@@ -284,6 +310,9 @@ sim::Process InicCard::compute_offload(Bytes data, Bandwidth kernel_rate,
       transfer_time(data, kernel_rate) + cfg_.card_latency;
   const Time done = std::max({in_done, kernel_done, out_done});
 
+  tracer().span(trace::Category::kInic, node_.id(), "inic/offload",
+                eng.now(), std::max(done, eng.now()) - eng.now(),
+                static_cast<std::int64_t>(data.count()));
   if (payload && kernel_fn) {
     *payload = kernel_fn(std::move(*payload));
   }
@@ -291,14 +320,22 @@ sim::Process InicCard::compute_offload(Bytes data, Bandwidth kernel_rate,
 }
 
 sim::Process InicCard::dma_to_host(Bytes size) {
+  sim::Engine& eng = node_.engine();
   const Time done = book_stage(host_dma_, size);
-  bytes_to_host_ += size;
-  co_await sim::DelayUntil{node_.engine(), done};
+  bytes_to_host_.add(eng.now(), size.count());
+  tracer().span(trace::Category::kInic, node_.id(), "inic/dma_to_host",
+                eng.now(), done - eng.now(),
+                static_cast<std::int64_t>(size.count()));
+  co_await sim::DelayUntil{eng, done};
 }
 
 sim::Process InicCard::dma_from_host(Bytes size) {
+  sim::Engine& eng = node_.engine();
   const Time done = book_stage(host_dma_, size);
-  co_await sim::DelayUntil{node_.engine(), done};
+  tracer().span(trace::Category::kInic, node_.id(), "inic/dma_from_host",
+                eng.now(), done - eng.now(),
+                static_cast<std::int64_t>(size.count()));
+  co_await sim::DelayUntil{eng, done};
 }
 
 void InicCard::accumulate_for_host(std::size_t bucket, Bytes amount) {
@@ -307,7 +344,8 @@ void InicCard::accumulate_for_host(std::size_t bucket, Bytes amount) {
   while (acc >= cfg_.host_delivery_threshold) {
     acc -= cfg_.host_delivery_threshold;
     const Time done = book_stage(host_dma_, cfg_.host_delivery_threshold);
-    bytes_to_host_ += cfg_.host_delivery_threshold;
+    bytes_to_host_.add(node_.engine().now(),
+                       cfg_.host_delivery_threshold.count());
     if (done > last_host_delivery_) last_host_delivery_ = done;
   }
 }
@@ -316,7 +354,7 @@ sim::Process InicCard::flush_to_host() {
   for (auto& [bucket, acc] : bucket_accumulated_) {
     if (acc > Bytes::zero()) {
       const Time done = book_stage(host_dma_, acc);
-      bytes_to_host_ += acc;
+      bytes_to_host_.add(node_.engine().now(), acc.count());
       if (done > last_host_delivery_) last_host_delivery_ = done;
       acc = Bytes::zero();
     }

@@ -41,6 +41,7 @@
 #include "sim/process.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
+#include "trace/counters.hpp"
 
 namespace acc::inic {
 
@@ -115,11 +116,11 @@ class InicCard : public net::Endpoint {
 
   void deliver(const net::Frame& frame) override;
 
-  std::uint64_t bursts_sent() const { return bursts_sent_; }
-  std::uint64_t credits_received() const { return credits_received_; }
-  std::uint64_t retransmits() const { return retransmits_; }
-  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
-  Bytes bytes_to_host() const { return bytes_to_host_; }
+  std::uint64_t bursts_sent() const { return bursts_sent_.value(); }
+  std::uint64_t credits_received() const { return credits_received_.value(); }
+  std::uint64_t retransmits() const { return retransmits_.value(); }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_.value(); }
+  Bytes bytes_to_host() const { return Bytes(bytes_to_host_.value()); }
   const InicConfig& config() const { return cfg_; }
   hw::Node& node() { return node_; }
 
@@ -145,6 +146,9 @@ class InicCard : public net::Endpoint {
   /// Books `size` on a stage resource, plus the shared card bus when the
   /// prototype flag is set; returns the completion time of the later.
   Time book_stage(sim::FifoResource& stage, Bytes size);
+
+  trace::Counter& counter(const char* name);
+  trace::Tracer& tracer();
 
   sim::Semaphore& credits_for(int dst);
   void send_credit(int dst);
@@ -187,11 +191,12 @@ class InicCard : public net::Endpoint {
   std::map<int, std::deque<OutstandingBurst>> outstanding_;
   std::map<int, std::uint64_t> retransmit_generation_;
 
-  std::uint64_t bursts_sent_ = 0;
-  std::uint64_t credits_received_ = 0;
-  std::uint64_t retransmits_ = 0;
-  std::uint64_t duplicates_dropped_ = 0;
-  Bytes bytes_to_host_ = Bytes::zero();
+  // Offload-phase statistics are trace counters (shared with reports).
+  trace::Counter& bursts_sent_;
+  trace::Counter& credits_received_;
+  trace::Counter& retransmits_;
+  trace::Counter& duplicates_dropped_;
+  trace::Counter& bytes_to_host_;
 };
 
 }  // namespace acc::inic

@@ -6,7 +6,14 @@
 namespace acc::net {
 
 Network::Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
-    : eng_(eng), cfg_(cfg) {
+    : eng_(eng),
+      cfg_(cfg),
+      forwarded_(eng.counters().get(trace::Category::kNet, -1,
+                                    "net/frames_forwarded")),
+      dropped_(
+          eng.counters().get(trace::Category::kNet, -1, "net/frames_dropped")),
+      bytes_forwarded_(eng.counters().get(trace::Category::kNet, -1,
+                                          "net/bytes_forwarded")) {
   ports_.reserve(ports);
   for (std::size_t p = 0; p < ports; ++p) {
     ports_.push_back(Port{
@@ -35,19 +42,27 @@ void Network::inject(Frame frame) {
   }
   frame.id = next_frame_id_++;
 
+  eng_.tracer().instant(trace::Category::kNet, frame.src, "net/inject",
+                        eng_.now(),
+                        static_cast<std::int64_t>(frame.wire.count()));
+
   // The frame reaches the switch after the ingress link latency; the
   // buffer admission decision happens there.
   // Injected loss models bit errors on the links; the frame vanishes
   // before the switch sees it.
   if (loss_rng_ && loss_rng_->chance(loss_probability_)) {
-    ++dropped_;
+    dropped_.add(eng_.now(), 1);
+    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/loss",
+                          eng_.now(), static_cast<std::int64_t>(frame.id));
     return;
   }
 
   eng_.schedule(cfg_.link_latency + cfg_.switch_latency, [this, frame,
                                                           &port]() mutable {
     if (port.buffered + frame.wire > cfg_.port_buffer) {
-      ++dropped_;
+      dropped_.add(eng_.now(), 1);
+      eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
+                            eng_.now(), static_cast<std::int64_t>(frame.id));
       return;  // drop-tail: the whole burst is lost
     }
     port.buffered += frame.wire;
@@ -56,10 +71,13 @@ void Network::inject(Frame frame) {
     // Egress serialization at line rate, FCFS with other buffered frames,
     // then the egress link latency to the endpoint.
     const Time serialized_at = port.egress->enqueue(frame.wire);
+    eng_.tracer().span(trace::Category::kNet, frame.dst, "net/egress",
+                       eng_.now(), serialized_at - eng_.now(),
+                       static_cast<std::int64_t>(frame.wire.count()));
     eng_.schedule_at(serialized_at, [this, frame, &port] {
       port.buffered -= frame.wire;
-      ++forwarded_;
-      bytes_forwarded_ += frame.wire;
+      forwarded_.add(eng_.now(), 1);
+      bytes_forwarded_.add(eng_.now(), frame.wire.count());
       eng_.schedule(cfg_.link_latency,
                     [frame, &port] { port.endpoint->deliver(frame); });
     });

@@ -19,6 +19,7 @@
 #include "net/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "trace/counters.hpp"
 
 namespace acc::net {
 
@@ -57,9 +58,11 @@ class Network {
   Bandwidth line_rate() const { return cfg_.line_rate; }
   Time one_way_latency() const { return cfg_.link_latency + cfg_.switch_latency; }
 
-  std::uint64_t frames_forwarded() const { return forwarded_; }
-  std::uint64_t frames_dropped() const { return dropped_; }
-  Bytes bytes_forwarded() const { return bytes_forwarded_; }
+  // Fabric statistics are trace counters: the report reads the same
+  // instrumentation the trace timeline records.
+  std::uint64_t frames_forwarded() const { return forwarded_.value(); }
+  std::uint64_t frames_dropped() const { return dropped_.value(); }
+  Bytes bytes_forwarded() const { return Bytes(bytes_forwarded_.value()); }
 
   /// Peak output-buffer occupancy seen on any port (bytes) — used by
   /// tests of the paper's "fits in network buffers" claim.
@@ -83,10 +86,10 @@ class Network {
   std::vector<Port> ports_;
   double loss_probability_ = 0.0;
   std::unique_ptr<Rng> loss_rng_;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_ = 0;
+  trace::Counter& forwarded_;
+  trace::Counter& dropped_;
+  trace::Counter& bytes_forwarded_;
   std::uint64_t next_frame_id_ = 1;
-  Bytes bytes_forwarded_ = Bytes::zero();
   Bytes peak_occupancy_ = Bytes::zero();
 };
 

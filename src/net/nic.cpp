@@ -23,7 +23,11 @@ StandardNic::StandardNic(hw::Node& node, Network& network,
       tx_mac_(node.engine(), network.line_rate(),
               "nic-tx-" + std::to_string(node.id())),
       coalescer_(node.engine(), node.cpu(), cfg.interrupts,
-                 [this](std::size_t n) { deliver_batch_to_host(n); }) {
+                 [this](std::size_t n) { deliver_batch_to_host(n); }),
+      frames_received_(node.engine().counters().get(
+          trace::Category::kNic, node.id(), "nic/frames_received")),
+      frames_sent_(node.engine().counters().get(
+          trace::Category::kNic, node.id(), "nic/frames_sent")) {
   network_.attach(node.id(), *this);
 }
 
@@ -51,7 +55,10 @@ sim::Process StandardNic::transmit(Frame frame) {
   if (inject_at < eng.now()) inject_at = eng.now();
   eng.schedule_at(inject_at, [this, frame] { network_.inject(frame); });
 
-  ++frames_sent_;
+  frames_sent_.add(eng.now(), 1);
+  eng.tracer().span(trace::Category::kNic, node_.id(), "nic/tx", eng.now(),
+                    std::max(dma_done, tx_done) - eng.now(),
+                    static_cast<std::int64_t>(frame.wire.count()));
   // The caller resumes when the NIC is fully done with the burst (last
   // byte fetched and transmitted).
   co_await sim::DelayUntil{eng, std::max(dma_done, tx_done)};
@@ -69,7 +76,10 @@ void StandardNic::deliver(const Frame& frame) {
       std::max(node_.engine().now(), dma_start) + node_.dma().config().setup;
 
   rx_pending_.push_back(PendingRx{frame, data_ready});
-  ++frames_received_;
+  frames_received_.add(node_.engine().now(), 1);
+  node_.engine().tracer().instant(
+      trace::Category::kNic, node_.id(), "nic/rx", node_.engine().now(),
+      static_cast<std::int64_t>(frame.wire.count()));
   // Interrupt mitigation counts wire packets (the hardware's view).
   coalescer_.notify_frames(frame.packet_count);
 }

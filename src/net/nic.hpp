@@ -22,6 +22,7 @@
 #include "net/network.hpp"
 #include "sim/process.hpp"
 #include "sim/resource.hpp"
+#include "trace/counters.hpp"
 
 namespace acc::net {
 
@@ -48,8 +49,8 @@ class StandardNic : public Endpoint {
   void deliver(const Frame& frame) override;
 
   std::uint64_t interrupts_fired() const { return coalescer_.interrupts_fired(); }
-  std::uint64_t frames_received() const { return frames_received_; }
-  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_.value(); }
+  std::uint64_t frames_sent() const { return frames_sent_.value(); }
   hw::Node& node() { return node_; }
   Network& network() { return network_; }
 
@@ -70,8 +71,8 @@ class StandardNic : public Endpoint {
   std::size_t packet_credit_ = 0;     // interrupt-covered packets not yet
                                       // matched to a pending burst
   RxHandler rx_handler_;
-  std::uint64_t frames_received_ = 0;
-  std::uint64_t frames_sent_ = 0;
+  trace::Counter& frames_received_;
+  trace::Counter& frames_sent_;
 };
 
 }  // namespace acc::net

@@ -24,7 +24,14 @@ std::uint32_t flow_id(int src, int dst) {
 }  // namespace
 
 TcpStack::TcpStack(hw::Node& node, net::StandardNic& nic, const TcpConfig& cfg)
-    : node_(node), nic_(nic), cfg_(cfg), inbox_(node.engine()) {
+    : node_(node),
+      nic_(nic),
+      cfg_(cfg),
+      inbox_(node.engine()),
+      retransmits_(node.engine().counters().get(
+          trace::Category::kTcp, node.id(), "tcp/retransmits")),
+      timeouts_(node.engine().counters().get(trace::Category::kTcp, node.id(),
+                                             "tcp/timeouts")) {
   nic_.set_rx_handler([this](const net::Frame& f) { on_frame(f); });
 }
 
@@ -103,6 +110,8 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
 
     c.snd_next = burst_start + burst_bytes;
     c.burst_sent_at = eng.now();
+    eng.tracer().instant(trace::Category::kTcp, node_.id(), "tcp/tx_burst",
+                         eng.now(), static_cast<std::int64_t>(burst_bytes));
     co_await nic_.transmit(frame);
 
     // Wait for the cumulative ACK to cover this burst, or for the
@@ -111,7 +120,11 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
     const std::uint64_t generation = ++c.rto_generation;
     eng.schedule(current_rto(c), [this, &c, generation] {
       if (generation == c.rto_generation && c.snd_una < c.snd_next) {
-        ++timeouts_;
+        sim::Engine& e = node_.engine();
+        timeouts_.add(e.now(), 1);
+        e.tracer().instant(trace::Category::kTcp, node_.id(), "tcp/timeout",
+                           e.now(),
+                           static_cast<std::int64_t>(c.snd_next - c.snd_una));
         // Loss: collapse the window per TCP's congestion response.
         c.ssthresh =
             std::max(c.cwnd / 2.0, 2.0 * static_cast<double>(cfg_.mss));
@@ -124,7 +137,10 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
 
     if (c.snd_una < c.snd_next) {
       // Timed out: loop retransmits from snd_una.
-      ++retransmits_;
+      retransmits_.add(eng.now(), 1);
+      eng.tracer().instant(trace::Category::kTcp, node_.id(),
+                           "tcp/retransmit", eng.now(),
+                           static_cast<std::int64_t>(c.snd_una));
       continue;
     }
   }
@@ -167,6 +183,10 @@ void TcpStack::on_data(const net::Frame& frame) {
     c.rcv_msg_remaining -= frame.payload.count();
     if (c.rcv_msg_remaining == 0) {
       c.rcv_current.delivered_at = node_.engine().now();
+      node_.engine().tracer().instant(
+          trace::Category::kTcp, node_.id(), "tcp/msg_complete",
+          node_.engine().now(),
+          static_cast<std::int64_t>(c.rcv_current.size.count()));
       inbox_.send_now(std::move(c.rcv_current));
       c.rcv_current = Message{};
     }

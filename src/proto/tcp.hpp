@@ -34,6 +34,7 @@
 #include "sim/channel.hpp"
 #include "sim/process.hpp"
 #include "sim/sync.hpp"
+#include "trace/counters.hpp"
 
 namespace acc::proto {
 
@@ -66,8 +67,8 @@ class TcpStack {
   sim::Channel<Message>& inbox() { return inbox_; }
 
   /// Retransmission count across all connections (tests, reports).
-  std::uint64_t retransmits() const { return retransmits_; }
-  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retransmits() const { return retransmits_.value(); }
+  std::uint64_t timeouts() const { return timeouts_.value(); }
 
   const TcpConfig& config() const { return cfg_; }
 
@@ -109,8 +110,8 @@ class TcpStack {
   std::map<int, std::unique_ptr<Connection>> in_;
   // Keeps transmit coroutines alive until they finish.
   std::vector<std::unique_ptr<sim::Process>> tx_in_flight_;
-  std::uint64_t retransmits_ = 0;
-  std::uint64_t timeouts_ = 0;
+  trace::Counter& retransmits_;
+  trace::Counter& timeouts_;
 };
 
 }  // namespace acc::proto

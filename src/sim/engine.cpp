@@ -20,6 +20,11 @@ bool Engine::step() {
   assert(ev.when >= now_);
   now_ = ev.when;
   ++executed_;
+  // Dispatch hook: one instant per event, carrying the schedule-time
+  // sequence number, so the digest captures the exact (time, FIFO) order
+  // the engine executed.  Pure observation — never perturbs the queue.
+  tracer_.instant(trace::Category::kEngine, -1, "engine/dispatch", now_,
+                  static_cast<std::int64_t>(ev.seq));
   ev.fn();
   return true;
 }

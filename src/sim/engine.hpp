@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace acc::sim {
 
@@ -59,6 +61,14 @@ class Engine {
     if (!failure_) failure_ = std::move(e);
   }
 
+  /// The engine's trace stream.  Disabled by default; every device model
+  /// built on this engine records into it when enabled.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+
+  /// Monotonic counters shared by the trace stream and post-run reports.
+  trace::CounterRegistry& counters() { return counters_; }
+
  private:
   struct Scheduled {
     Time when;
@@ -79,6 +89,8 @@ class Engine {
   std::uint64_t executed_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
   std::exception_ptr failure_;
+  trace::Tracer tracer_;
+  trace::CounterRegistry counters_{tracer_};
 };
 
 }  // namespace acc::sim

@@ -31,6 +31,10 @@ class Process {
     std::coroutine_handle<> await_suspend(Handle h) noexcept {
       promise_type& p = h.promise();
       p.finished = true;
+      if (p.engine) {
+        p.engine->tracer().instant(trace::Category::kProcess, -1,
+                                   "process/finish", p.engine->now());
+      }
       if (p.on_finished) p.on_finished();
       if (p.continuation) return p.continuation;
       if (p.exception && p.engine) {
@@ -115,6 +119,8 @@ class Process {
     assert(h_ && !h_.promise().started);
     h_.promise().started = true;
     bind_engine(eng);
+    eng.tracer().instant(trace::Category::kProcess, -1, "process/spawn",
+                         eng.now());
     // Kick off at the current instant via the event queue to preserve
     // deterministic ordering with already-scheduled events.
     eng.schedule(Time::zero(), [h = h_] { h.resume(); });
@@ -163,6 +169,8 @@ struct Delay {
 
   bool await_ready() const { return false; }
   void await_suspend(std::coroutine_handle<> h) {
+    eng.tracer().span(trace::Category::kProcess, -1, "process/delay",
+                      eng.now(), duration);
     eng.schedule(duration, [h] { h.resume(); });
   }
   void await_resume() const {}
@@ -175,6 +183,8 @@ struct DelayUntil {
 
   bool await_ready() const { return when <= eng.now(); }
   void await_suspend(std::coroutine_handle<> h) {
+    eng.tracer().span(trace::Category::kProcess, -1, "process/wait",
+                      eng.now(), when - eng.now());
     eng.schedule_at(when, [h] { h.resume(); });
   }
   void await_resume() const {}

@@ -1,0 +1,101 @@
+// Managed monotonic counters, shared between the trace stream and the
+// post-run reports.
+//
+// Components obtain a Counter handle once (at construction) and add() to
+// it on the hot path; the handle keeps the running value for reports
+// (core/report reads these through the component accessors) and, when
+// tracing is enabled, also emits a counter record at each update — so
+// ClusterReport aggregates and the trace timeline are derived from the
+// same instrumentation, by construction.
+//
+// Time- and byte-valued tallies are stored as nanoseconds / bytes in the
+// 64-bit counter value.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "trace/trace.hpp"
+
+namespace acc::trace {
+
+class CounterRegistry;
+
+class Counter {
+ public:
+  /// Adds `delta` at sim time `ts`; emits a counter record when tracing.
+  void add(Time ts, std::uint64_t delta) {
+    value_ += delta;
+    tracer_->counter(category_, node_, name_,  ts,
+                     static_cast<std::int64_t>(value_));
+  }
+
+  std::uint64_t value() const { return value_; }
+  Category category() const { return category_; }
+  int node() const { return node_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CounterRegistry;
+  Counter(Tracer& tracer, Category c, int node, const char* name)
+      : tracer_(&tracer), category_(c), node_(node), name_(name) {}
+
+  Tracer* tracer_;
+  Category category_;
+  int node_;
+  const char* name_;
+  std::uint64_t value_ = 0;
+};
+
+/// A sampled counter value, for report snapshots.
+struct CounterSample {
+  Category category;
+  int node;
+  std::string name;
+  std::uint64_t value;
+};
+
+class CounterRegistry {
+ public:
+  explicit CounterRegistry(Tracer& tracer) : tracer_(tracer) {}
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// Returns the counter for (category, node, name), creating it at zero
+  /// on first use.  `name` must have static storage duration.  Handles
+  /// stay valid for the registry's lifetime (deque storage).
+  Counter& get(Category c, int node, const char* name) {
+    const Key key{c, node, name};
+    auto it = index_.find(key);
+    if (it != index_.end()) return *it->second;
+    counters_.emplace_back(Counter(tracer_, c, node, name));
+    index_.emplace(key, &counters_.back());
+    return counters_.back();
+  }
+
+  /// Snapshot of every counter, in deterministic (category, node, name)
+  /// order.
+  std::vector<CounterSample> snapshot() const {
+    std::vector<CounterSample> out;
+    out.reserve(index_.size());
+    for (const auto& [key, ctr] : index_) {
+      out.push_back(CounterSample{std::get<0>(key), std::get<1>(key),
+                                  std::get<2>(key), ctr->value()});
+    }
+    return out;
+  }
+
+  std::size_t size() const { return counters_.size(); }
+
+ private:
+  using Key = std::tuple<Category, int, std::string>;
+
+  Tracer& tracer_;
+  std::deque<Counter> counters_;
+  std::map<Key, Counter*> index_;
+};
+
+}  // namespace acc::trace

@@ -3,6 +3,8 @@
 // end-to-end invariants that span several subsystems.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
 #include "core/report.hpp"
@@ -90,6 +92,57 @@ TEST(Integration, AnalyticAndSimulatedFigure4aAgreeInShape) {
     prev_ratio = ratio;
   }
 }
+
+#ifndef ACC_TRACE_DISABLED
+TEST(Integration, GoldenTraceDigestForSmallFft) {
+  // Golden-trace regression check: the complete event stream of a small
+  // canonical run, collapsed to its 64-bit digest.  This pin catches
+  // *any* behavioural drift — event order, timestamps, added or removed
+  // instrumentation — not just end-result drift.
+  //
+  // If this fails AND the change to simulator behaviour or trace hooks
+  // was intentional, re-pin: run
+  //   build/tests/integration_test --gtest_filter='*GoldenTraceDigest*'
+  // and paste the "actual" digest printed below into kPinnedDigest,
+  // noting the cause in the commit message.  An unintentional failure is
+  // a determinism or behaviour regression — do not re-pin; bisect it.
+  apps::SimCluster cluster(4, apps::Interconnect::kGigabitTcp);
+  cluster.tracer().enable(/*ring_capacity=*/64);
+  apps::FftRunOptions opts;
+  opts.verify = true;
+  opts.seed = 42;
+  const auto r = run_parallel_fft(cluster, 64, opts);
+  EXPECT_TRUE(r.verified);
+
+  const std::uint64_t kPinnedDigest = 0xda5eeed78b7381bdULL;
+  char actual[17];
+  std::snprintf(actual, sizeof actual, "%016llx",
+                static_cast<unsigned long long>(cluster.tracer().digest()));
+  EXPECT_EQ(cluster.tracer().digest(), kPinnedDigest)
+      << "actual digest: 0x" << actual
+      << " — see the re-pin instructions in this test";
+}
+
+TEST(Integration, ReportCarriesTraceDigestAndCounters) {
+  // collect_report() must surface the trace stream summary and the full
+  // counter snapshot so figure drivers can log them.
+  apps::SimCluster cluster(4, apps::Interconnect::kGigabitTcp);
+  cluster.tracer().enable(/*ring_capacity=*/64);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  run_parallel_fft(cluster, 64, opts);
+  const auto report = core::collect_report(cluster);
+  EXPECT_GT(report.trace_records, 0u);
+  EXPECT_EQ(report.trace_digest, cluster.tracer().digest());
+  ASSERT_FALSE(report.counters.empty());
+  // The aggregated fabric totals come from the same counters.
+  for (const auto& c : report.counters) {
+    if (c.node == -1 && c.name == "net/frames_forwarded") {
+      EXPECT_EQ(c.value, report.frames_forwarded);
+    }
+  }
+}
+#endif  // ACC_TRACE_DISABLED
 
 TEST(Integration, SpeedupOrderingAcrossInterconnects) {
   // Paper-wide invariant at every P: FastE <= GigE <= prototype <= ideal

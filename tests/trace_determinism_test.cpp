@@ -1,0 +1,189 @@
+// Replay/determinism harness: the simulator must be a pure function of
+// (configuration, seeds).  We run whole clusters twice with identical
+// inputs and assert the trace digests — a hash over every event the run
+// emitted, in order — are bit-identical, then vary the seeds and assert
+// the digests move.  A digest mismatch on identical inputs means
+// something nondeterministic (iteration order of an unordered container,
+// pointer-keyed ordering, uninitialised reads) leaked into event order
+// or timing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/cluster.hpp"
+#include "apps/fft_app.hpp"
+#include "apps/sort_app.hpp"
+#include "model/calibration.hpp"
+#include "trace/trace.hpp"
+
+namespace acc {
+namespace {
+
+#ifdef ACC_TRACE_DISABLED
+// Digest comparison needs recording; with tracing compiled out
+// (-DACC_TRACE=OFF) there is nothing to replay-check.
+TEST(TraceDeterminism, SkippedWhenTracingCompiledOut) {
+  GTEST_SKIP() << "built with ACC_TRACE=OFF";
+}
+#else
+
+struct RunSummary {
+  std::uint64_t digest = 0;
+  std::uint64_t records = 0;
+  Time total = Time::zero();
+};
+
+RunSummary traced_fft_run(apps::Interconnect ic, std::size_t nodes,
+                          std::size_t n, std::uint64_t seed) {
+  apps::SimCluster cluster(nodes, ic);
+  // Small retention ring on purpose: determinism checks only need the
+  // digest, which covers evicted records too.
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::FftRunOptions opts;
+  opts.seed = seed;
+  const auto result = apps::run_parallel_fft(cluster, n, opts);
+  EXPECT_TRUE(result.verified);
+  return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
+          result.total};
+}
+
+RunSummary traced_sort_run(apps::Interconnect ic, std::size_t nodes,
+                           std::size_t keys, std::uint64_t seed) {
+  apps::SimCluster cluster(nodes, ic);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::SortRunOptions opts;
+  opts.seed = seed;
+  const auto result = apps::run_parallel_sort(cluster, keys, opts);
+  EXPECT_TRUE(result.verified);
+  return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
+          result.total};
+}
+
+// Lossy-TCP FFT: the loss process is seeded separately from the data, so
+// it perturbs *timing* (retransmissions) even where data sizes are fixed.
+RunSummary traced_lossy_fft_run(std::uint64_t loss_seed) {
+  apps::SimCluster cluster(4, apps::Interconnect::kFastEthernetTcp);
+  cluster.network().set_random_loss(0.02, loss_seed);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::FftRunOptions opts;
+  opts.verify = false;  // loss only delays delivery, but keep runs short
+  const auto result = apps::run_parallel_fft(cluster, 64, opts);
+  return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
+          result.total};
+}
+
+// ---------------------------------------------------------------------
+// Same seed twice -> identical digest (per interconnect family)
+// ---------------------------------------------------------------------
+
+TEST(TraceDeterminism, FftTcpSameSeedReplaysIdentically) {
+  const auto a = traced_fft_run(apps::Interconnect::kFastEthernetTcp, 4, 64,
+                                /*seed=*/42);
+  const auto b = traced_fft_run(apps::Interconnect::kFastEthernetTcp, 4, 64,
+                                /*seed=*/42);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, FftInicSameSeedReplaysIdentically) {
+  const auto a =
+      traced_fft_run(apps::Interconnect::kInicPrototype, 4, 64, /*seed=*/42);
+  const auto b =
+      traced_fft_run(apps::Interconnect::kInicPrototype, 4, 64, /*seed=*/42);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, SortTcpSameSeedReplaysIdentically) {
+  const auto a = traced_sort_run(apps::Interconnect::kGigabitTcp, 4,
+                                 /*keys=*/1 << 14, /*seed=*/7);
+  const auto b = traced_sort_run(apps::Interconnect::kGigabitTcp, 4,
+                                 /*keys=*/1 << 14, /*seed=*/7);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, SortInicSameSeedReplaysIdentically) {
+  const auto a = traced_sort_run(apps::Interconnect::kInicIdeal, 4,
+                                 /*keys=*/1 << 14, /*seed=*/7);
+  const auto b = traced_sort_run(apps::Interconnect::kInicIdeal, 4,
+                                 /*keys=*/1 << 14, /*seed=*/7);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, LossyTcpSameSeedReplaysIdentically) {
+  const auto a = traced_lossy_fft_run(/*loss_seed=*/1234);
+  const auto b = traced_lossy_fft_run(/*loss_seed=*/1234);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// ---------------------------------------------------------------------
+// Seed sweeps -> digests move with the seed
+// ---------------------------------------------------------------------
+
+TEST(TraceDeterminism, SortDigestTracksKeySeed) {
+  // Sort timing is data-dependent (bucket sizes follow the keys), so a
+  // different key seed must produce a different event stream.  Sweep a
+  // few seeds and require pairwise-distinct digests.
+  std::uint64_t digests[3];
+  const std::uint64_t seeds[3] = {7, 8, 9};
+  for (int i = 0; i < 3; ++i) {
+    digests[i] = traced_sort_run(apps::Interconnect::kGigabitTcp, 4, 1 << 14,
+                                 seeds[i])
+                     .digest;
+  }
+  EXPECT_NE(digests[0], digests[1]);
+  EXPECT_NE(digests[1], digests[2]);
+  EXPECT_NE(digests[0], digests[2]);
+}
+
+TEST(TraceDeterminism, LossDigestTracksLossSeed) {
+  // FFT transfer sizes are seed-independent, but which bursts the fabric
+  // drops is not: different loss seeds must reshuffle retransmission
+  // timing and therefore the digest.
+  const auto a = traced_lossy_fft_run(/*loss_seed=*/1);
+  const auto b = traced_lossy_fft_run(/*loss_seed=*/2);
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, FftDigestIsDataIndependent) {
+  // Control experiment documenting *why* the sweeps above use sort and
+  // loss: the FFT's communication schedule depends only on (n, P), so
+  // changing the matrix-content seed must NOT move the digest.  If this
+  // ever starts failing, timing has become data-dependent and the
+  // seed-sweep tests need re-deriving.
+  const auto a =
+      traced_fft_run(apps::Interconnect::kGigabitTcp, 4, 64, /*seed=*/42);
+  const auto b =
+      traced_fft_run(apps::Interconnect::kGigabitTcp, 4, 64, /*seed=*/43);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// ---------------------------------------------------------------------
+// Digest vs. tracing overhead
+// ---------------------------------------------------------------------
+
+TEST(TraceDeterminism, TracingDoesNotPerturbSimulatedTime) {
+  // Observer effect check: the same run traced and untraced must land on
+  // the same simulated completion time.
+  apps::SimCluster untraced(4, apps::Interconnect::kGigabitTcp);
+  const auto plain = apps::run_parallel_fft(untraced, 64, {});
+  const auto traced =
+      traced_fft_run(apps::Interconnect::kGigabitTcp, 4, 64, /*seed=*/42);
+  EXPECT_EQ(plain.total, traced.total);
+}
+
+#endif  // ACC_TRACE_DISABLED
+
+}  // namespace
+}  // namespace acc
