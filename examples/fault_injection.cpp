@@ -1,0 +1,103 @@
+// Fault injection walkthrough: run the distributed FFT on an INIC
+// cluster while a scripted fault plan batters the fabric — a bursty-loss
+// window, a link outage, and an FPGA card reset — and watch the recovery
+// machinery (hardware go-back-N, degraded-mode TCP fallback) carry the
+// run to a bit-correct result anyway.
+//
+//   $ ./fault_injection
+//
+// The run is deterministic: the same fault seed replays the same storm.
+// Set ACC_TRACE=/tmp/faulted.json to capture the full timeline (fault
+// edges appear under the "fault" category), or ACC_TRACE_DIGEST=1 to
+// print the run digest — scripts/check_determinism.sh uses that to check
+// faulted runs replay bit-identically.
+#include <cstdio>
+
+#include "core/acc.hpp"
+
+using namespace acc;
+
+int main() {
+  constexpr std::size_t kNodes = 4;
+  constexpr std::size_t kMatrix = 256;
+
+  std::printf("Fault injection demo: %zux%zu 2D-FFT on %zu INIC nodes\n\n",
+              kMatrix, kMatrix, kNodes);
+
+  apps::FftRunOptions fft_opts;
+  fft_opts.verify = true;
+
+  // Recovery knobs: hardware go-back-N with a retry budget, plus the
+  // degraded-mode TCP plane for transfers that meet a resetting card.
+  apps::ClusterOptions copts;
+  copts.inic_hw_retransmit = true;
+  copts.inic_max_retries = 16;
+  copts.degraded_fallback = true;
+
+  // Clean reference run.
+  Time clean_total;
+  {
+    apps::SimCluster cluster(kNodes, apps::Interconnect::kInicIdeal,
+                             model::default_calibration(), copts);
+    const auto r = run_parallel_fft(cluster, kMatrix, fft_opts);
+    clean_total = r.total;
+    std::printf("clean run:   %8.2f ms  result %s\n", r.total.as_millis(),
+                r.verified ? "verified" : "WRONG");
+  }
+
+  // The same run under a storm.  Windows are placed as fractions of the
+  // clean duration; everything is seeded, so the storm replays exactly.
+  const double t = clean_total.as_seconds();
+  auto at = [t](double f) { return Time::seconds(t * f); };
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.5;  // ~10% of frames die, in bursts, while open
+
+  fault::FaultPlan plan;
+  plan.with_seed(2026)
+      .with_burst_loss(at(0.05), at(0.80), ge)
+      .with_link_down(/*node=*/1, at(0.40), at(0.05))
+      .with_card_reset(/*node=*/2, at(0.10), at(0.25));
+
+  apps::SimCluster cluster(kNodes, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), copts);
+  cluster.engine().set_time_budget(Time::seconds(5));  // watchdog backstop
+  fault::FaultInjector injector(cluster, plan);
+  const auto r = run_parallel_fft(cluster, kMatrix, fft_opts);
+
+  std::printf("faulted run: %8.2f ms  result %s\n\n", r.total.as_millis(),
+              r.verified ? "verified" : "WRONG");
+
+  std::uint64_t retransmits = 0, crc_drops = 0, reset_drops = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    retransmits += cluster.card(i).retransmits();
+    crc_drops += cluster.card(i).crc_drops();
+    reset_drops += cluster.card(i).reset_drops();
+  }
+  Table table({"recovery metric", "count"});
+  table.row().add("fault-window edges fired").add(
+      static_cast<std::int64_t>(injector.events_fired()));
+  table.row().add("frames dropped by fabric").add(
+      static_cast<std::int64_t>(cluster.network().frames_dropped()));
+  table.row().add("  of which in loss bursts").add(
+      static_cast<std::int64_t>(cluster.network().frames_dropped_burst()));
+  table.row().add("  of which link-down").add(
+      static_cast<std::int64_t>(cluster.network().frames_dropped_link_down()));
+  table.row().add("frames dropped at resetting card").add(
+      static_cast<std::int64_t>(reset_drops));
+  table.row().add("CRC drops at cards").add(
+      static_cast<std::int64_t>(crc_drops));
+  table.row().add("go-back-N retransmissions").add(
+      static_cast<std::int64_t>(retransmits));
+  table.row().add("transfers rerouted to TCP fallback").add(
+      static_cast<std::int64_t>(cluster.fallback_transfers()));
+  table.print();
+
+  std::printf(
+      "\nThe slowdown is the price of recovery: every lost burst costs a\n"
+      "retransmission round, and transfers that met the resetting card\n"
+      "crossed the degraded-mode TCP plane instead.  The result is still\n"
+      "bit-identical to the serial oracle.\n");
+  return r.verified ? 0 : 1;
+}

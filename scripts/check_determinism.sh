@@ -57,32 +57,37 @@ aslr_wrap() {
 }
 
 # Digest probe: an example run that prints "acc-trace-digest <hex>" per
-# cluster via the ACC_TRACE_DIGEST environment hook.
-digests_of() {  # $1: aslr mode, $2: locale
-  local mode="$1" loc="$2"
+# cluster via the ACC_TRACE_DIGEST environment hook.  $3 picks the probe
+# binary: quickstart exercises healthy runs, fault_injection a
+# fault-injected run (scripted storm + seeded loss chain), so the check
+# covers both halves of the determinism contract (docs/FAULTS.md).
+digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
+  local mode="$1" loc="$2" probe="$3"
   aslr_wrap "$mode" env LC_ALL="$loc" ACC_TRACE_DIGEST=1 \
-    "$build_dir/examples/quickstart" 2>&1 >/dev/null |
+    "$build_dir/examples/$probe" 2>&1 >/dev/null |
     grep '^acc-trace-digest' || true
 }
 
-echo "== cross-environment digest comparison (examples/quickstart) =="
-baseline="$(digests_of varied C)"
-if [[ -z "$baseline" ]]; then
-  echo "FAIL: no digests emitted (ACC_TRACE_DIGEST hook broken?)" >&2
-  exit 1
-fi
 fail=0
-for mode in varied fixed; do
-  for loc in C "$alt_locale"; do
-    got="$(digests_of "$mode" "$loc")"
-    if [[ "$got" != "$baseline" ]]; then
-      echo "FAIL: digest mismatch (aslr=$mode locale=$loc)" >&2
-      echo "--- expected ---"; echo "$baseline"
-      echo "--- got ---"; echo "$got"
-      fail=1
-    else
-      echo "ok: aslr=$mode locale=$loc"
-    fi
+for probe in quickstart fault_injection; do
+  echo "== cross-environment digest comparison (examples/$probe) =="
+  baseline="$(digests_of varied C "$probe")"
+  if [[ -z "$baseline" ]]; then
+    echo "FAIL: no digests emitted (ACC_TRACE_DIGEST hook broken?)" >&2
+    exit 1
+  fi
+  for mode in varied fixed; do
+    for loc in C "$alt_locale"; do
+      got="$(digests_of "$mode" "$loc" "$probe")"
+      if [[ "$got" != "$baseline" ]]; then
+        echo "FAIL: digest mismatch (probe=$probe aslr=$mode locale=$loc)" >&2
+        echo "--- expected ---"; echo "$baseline"
+        echo "--- got ---"; echo "$got"
+        fail=1
+      else
+        echo "ok: probe=$probe aslr=$mode locale=$loc"
+      fi
+    done
   done
 done
 

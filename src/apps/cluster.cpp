@@ -17,6 +17,17 @@ int next_trace_file_index() {
   return ++next;
 }
 
+/// Forwards every message the fallback TCP plane completes into the card
+/// inbox, so INIC receivers never need to know which plane carried a
+/// message.  Runs forever; parked on an empty channel it holds no pending
+/// events, so it cannot keep the engine alive.
+sim::Process pump_fallback(proto::TcpStack& tcp, inic::InicCard& card) {
+  for (;;) {
+    proto::Message msg = co_await tcp.inbox().recv();
+    card.card_inbox().send_now(std::move(msg));
+  }
+}
+
 }  // namespace
 
 const char* to_string(Interconnect ic) {
@@ -38,8 +49,9 @@ bool is_inic(Interconnect ic) {
 }
 
 SimCluster::SimCluster(std::size_t n, Interconnect ic,
-                       const model::Calibration& cal)
-    : ic_(ic), cal_(cal) {
+                       const model::Calibration& cal,
+                       const ClusterOptions& opts)
+    : ic_(ic), cal_(cal), opts_(opts) {
   // Environment-driven tracing (documented on tracer()): any existing
   // example or benchmark can be traced without code changes.
   if (const char* path = std::getenv("ACC_TRACE"); path && *path) {
@@ -90,10 +102,42 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
     if (ic == Interconnect::kInicPrototype) {
       card_cfg.max_hw_buckets = cal.prototype_max_buckets;
     }
+    card_cfg.hw_retransmit = opts_.inic_hw_retransmit;
+    card_cfg.max_retries = opts_.inic_max_retries;
     card_cfg = card_cfg.tuned_for(n, net_cfg.port_buffer);
     for (std::size_t i = 0; i < n; ++i) {
       cards_.push_back(
           std::make_unique<inic::InicCard>(*nodes_[i], *network_, card_cfg));
+    }
+    if (opts_.degraded_fallback) {
+      // Degraded-mode plane: its own switch (Network::attach allows one
+      // endpoint per port), standard NICs and TCP stacks on the same
+      // nodes, and a pump per node forwarding completed TCP deliveries
+      // into the card inbox so receivers are transport-agnostic.
+      fallback_net_ = std::make_unique<net::Network>(eng_, n, net_cfg);
+      net::NicConfig nic_cfg;
+      nic_cfg.interrupts.max_frames = cal.interrupt_coalesce_frames;
+      nic_cfg.interrupts.timeout = cal.interrupt_coalesce_timeout;
+      nic_cfg.interrupts.service_cost = cal.interrupt_cost;
+      nic_cfg.per_packet_host_cost = cal.per_packet_host_cost;
+      proto::TcpConfig tcp_cfg;
+      tcp_cfg.mss = cal.tcp_mss;
+      tcp_cfg.initial_window_segments = cal.tcp_initial_window_segments;
+      tcp_cfg.max_window = cal.tcp_max_window;
+      tcp_cfg.min_rto = cal.tcp_min_rto;
+      tcp_cfg.per_packet_overhead =
+          cal.ethernet_frame_overhead + cal.ip_tcp_headers;
+      for (std::size_t i = 0; i < n; ++i) {
+        fallback_nics_.push_back(std::make_unique<net::StandardNic>(
+            *nodes_[i], *fallback_net_, nic_cfg));
+        fallback_tcp_.push_back(std::make_unique<proto::TcpStack>(
+            *nodes_[i], *fallback_nics_[i], tcp_cfg));
+        fallback_pumps_.push_back(std::make_unique<sim::Process>(
+            pump_fallback(*fallback_tcp_[i], *cards_[i])));
+        fallback_pumps_.back()->start(eng_);
+      }
+      fallback_transfers_ = &eng_.counters().get(trace::Category::kApp, -1,
+                                                 "app/fallback_transfers");
     }
   } else {
     net::NicConfig nic_cfg;
@@ -116,6 +160,57 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
       tcp_.push_back(
           std::make_unique<proto::TcpStack>(*nodes_[i], *nics_[i], tcp_cfg));
     }
+  }
+}
+
+sim::Channel<proto::Message>& SimCluster::inbox(std::size_t i) {
+  return is_inic(ic_) ? cards_.at(i)->card_inbox() : tcp_.at(i)->inbox();
+}
+
+std::uint64_t SimCluster::fallback_transfers() const {
+  return fallback_transfers_ ? fallback_transfers_->value() : 0;
+}
+
+void SimCluster::note_fallback(int src, Bytes size) {
+  fallback_transfers_->add(eng_.now(), 1);
+  eng_.tracer().instant(trace::Category::kApp, src, "app/fallback_transfer",
+                        eng_.now(), static_cast<std::int64_t>(size.count()));
+}
+
+sim::Process SimCluster::transfer(int src, int dst, Bytes size,
+                                  std::uint64_t tag, std::any payload) {
+  if (!is_inic(ic_)) {
+    co_await tcp_.at(src)->send_message(dst, size, tag, std::move(payload));
+    co_return;
+  }
+  inic::InicCard& card_src = *cards_.at(src);
+  if (!opts_.degraded_fallback) {
+    co_await card_src.send_stream(dst, size, tag, std::move(payload));
+    co_return;
+  }
+  if (card_src.in_reset() || cards_.at(dst)->in_reset() ||
+      card_src.peer_unreachable(dst)) {
+    note_fallback(src, size);
+    co_await fallback_tcp_.at(src)->send_message(dst, size, tag,
+                                                 std::move(payload));
+    co_return;
+  }
+  // Healthy at send time, but the card may still give up mid-stream; keep
+  // a copy of the payload so the whole message can be re-carried by TCP.
+  // (If the peer had in fact consumed the message and only the credits
+  // were lost, this re-carry duplicates it — at-least-once in that corner;
+  // see docs/FAULTS.md.)
+  std::any copy = payload;
+  bool rerouted = false;
+  try {
+    co_await card_src.send_stream(dst, size, tag, std::move(payload));
+  } catch (const inic::PeerUnreachableError&) {
+    rerouted = true;  // co_await is not allowed inside a handler
+  }
+  if (rerouted) {
+    note_fallback(src, size);
+    co_await fallback_tcp_.at(src)->send_message(dst, size, tag,
+                                                 std::move(copy));
   }
 }
 

@@ -3,6 +3,7 @@
 // baseline) or with INICs (the proposed architecture).
 #pragma once
 
+#include <any>
 #include <memory>
 #include <vector>
 
@@ -28,12 +29,29 @@ enum class Interconnect {
 const char* to_string(Interconnect ic);
 bool is_inic(Interconnect ic);
 
+/// Robustness knobs for a cluster run (all off by default, which keeps
+/// the paper's healthy-fabric model and its trace digests bit-identical).
+struct ClusterOptions {
+  /// Enables the INIC cards' go-back-N error handling.  Required for any
+  /// run with injected faults; off by default because the protocol is
+  /// lossless by construction on a healthy fabric.
+  bool inic_hw_retransmit = false;
+  /// Go-back-N retry budget per destination (0 = retry forever).
+  std::size_t inic_max_retries = 0;
+  /// Degraded-mode fallback: builds a parallel standard-NIC + TCP plane
+  /// and reroutes transfer()s over it whenever the source or destination
+  /// card is in a reset window — or mid-transfer, when the card declares
+  /// the peer unreachable.  INIC interconnects only; no effect otherwise.
+  bool degraded_fallback = false;
+};
+
 /// A fully wired simulated cluster.  Exactly one of (nics+tcp) / cards is
 /// populated, depending on the interconnect.
 class SimCluster {
  public:
   SimCluster(std::size_t n, Interconnect ic,
-             const model::Calibration& cal = model::default_calibration());
+             const model::Calibration& cal = model::default_calibration(),
+             const ClusterOptions& opts = {});
 
   /// Flushes environment-requested trace output (see ctor notes).
   ~SimCluster();
@@ -57,11 +75,33 @@ class SimCluster {
   proto::TcpStack& tcp(std::size_t i) { return *tcp_.at(i); }
   inic::InicCard& card(std::size_t i) { return *cards_.at(i); }
   const model::Calibration& calibration() const { return cal_; }
+  const ClusterOptions& options() const { return opts_; }
+
+  /// Transport-agnostic message send: TCP on the baseline interconnects,
+  /// send_stream on the INIC ones.  With options().degraded_fallback the
+  /// INIC path additionally reroutes over the parallel TCP plane when the
+  /// source or destination card is in a reset window, or when the card
+  /// gives up on the peer mid-stream (PeerUnreachableError).  Awaitable;
+  /// completes when the transport-level send completes.
+  sim::Process transfer(int src, int dst, Bytes size, std::uint64_t tag = 0,
+                        std::any payload = {});
+
+  /// The inbox transfer() delivers into on node `i`: the card inbox on
+  /// INIC interconnects (fallback messages are pumped into it too, so
+  /// receivers never need to know which plane carried a message), the TCP
+  /// inbox otherwise.
+  sim::Channel<proto::Message>& inbox(std::size_t i);
+
+  /// Transfers that were rerouted over the fallback TCP plane.
+  std::uint64_t fallback_transfers() const;
 
  private:
+  void note_fallback(int src, Bytes size);
+
   sim::Engine eng_;
   Interconnect ic_;
   model::Calibration cal_;
+  ClusterOptions opts_;
   bool env_trace_json_ = false;
   bool env_trace_digest_ = false;
   std::unique_ptr<net::Network> network_;
@@ -69,6 +109,14 @@ class SimCluster {
   std::vector<std::unique_ptr<net::StandardNic>> nics_;
   std::vector<std::unique_ptr<proto::TcpStack>> tcp_;
   std::vector<std::unique_ptr<inic::InicCard>> cards_;
+  // Degraded-mode plane (INIC + degraded_fallback only): a second switch
+  // with standard NICs and TCP stacks, plus pump processes forwarding
+  // fallback deliveries into the card inboxes.
+  std::unique_ptr<net::Network> fallback_net_;
+  std::vector<std::unique_ptr<net::StandardNic>> fallback_nics_;
+  std::vector<std::unique_ptr<proto::TcpStack>> fallback_tcp_;
+  std::vector<std::unique_ptr<sim::Process>> fallback_pumps_;
+  trace::Counter* fallback_transfers_ = nullptr;
 };
 
 }  // namespace acc::apps

@@ -157,8 +157,11 @@ sim::Process transpose_inic(SimCluster& cluster, std::size_t me,
       payload = BlockPayload{static_cast<int>(me),
                              algo::extract_block(state.slab, q)};
     }
-    sends.push_back(std::make_unique<sim::Process>(card.send_stream(
-        static_cast<int>(q), block_bytes, round, std::move(payload))));
+    // Routed through the cluster so a card in a fault/reset window can
+    // fall back to the TCP plane (degraded mode) instead of stalling.
+    sends.push_back(std::make_unique<sim::Process>(
+        cluster.transfer(static_cast<int>(me), static_cast<int>(q),
+                         block_bytes, round, std::move(payload))));
     sends.back()->start(cluster.engine());
   }
   // Own block: host -> card leg (the card holds it for the permutation).
@@ -171,7 +174,7 @@ sim::Process transpose_inic(SimCluster& cluster, std::size_t me,
   }
 
   std::vector<proto::Message> received;
-  co_await recv_for_round(card.card_inbox(), state, round, p_count - 1,
+  co_await recv_for_round(cluster.inbox(me), state, round, p_count - 1,
                           received);
   for (auto& s : sends) co_await *s;
 

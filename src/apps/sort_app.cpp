@@ -159,9 +159,11 @@ sim::Process sort_node_inic(SimCluster& cluster, std::size_t me,
     if (verify) {
       payload = BucketPayload{static_cast<int>(me), std::move(buckets[q])};
     }
+    // Routed through the cluster so a card in a fault/reset window can
+    // fall back to the TCP plane (degraded mode) instead of stalling.
     sends.push_back(std::make_unique<sim::Process>(
-        card.send_stream(static_cast<int>(q), Bytes(count * sizeof(Key)), 0,
-                         std::move(payload))));
+        cluster.transfer(static_cast<int>(me), static_cast<int>(q),
+                         Bytes(count * sizeof(Key)), 0, std::move(payload))));
     sends.back()->start(cluster.engine());
   }
 
@@ -181,7 +183,7 @@ sim::Process sort_node_inic(SimCluster& cluster, std::size_t me,
   // Receive side: the card bucket sorts arriving data into hardware
   // buckets and trickles 64 KB chunks to the host (Equation 15).
   for (std::size_t i = 0; i + 1 < p_count; ++i) {
-    proto::Message msg = co_await card.card_inbox().recv();
+    proto::Message msg = co_await cluster.inbox(me).recv();
     const std::size_t count = msg.size.count() / sizeof(Key);
     received_keys += count;
     if (verify) {

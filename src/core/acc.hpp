@@ -14,6 +14,8 @@
 //   model/   the paper's analytic models (Equations 3-17) + calibration
 //   core/    experiment runners producing the paper's figure series
 //   trace/   deterministic event tracing + counters (any layer may emit)
+//   fault/   deterministic fault injection (scripted windows + seeded
+//            loss processes) against whole cluster runs
 #pragma once
 
 #include "algo/fft.hpp"
@@ -28,6 +30,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "hw/node.hpp"
 #include "inic/card.hpp"
 #include "model/calibration.hpp"

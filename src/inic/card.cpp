@@ -34,7 +34,11 @@ InicCard::InicCard(hw::Node& node, net::Network& network,
       credits_received_(counter("inic/credits_received")),
       retransmits_(counter("inic/retransmits")),
       duplicates_dropped_(counter("inic/duplicates_dropped")),
-      bytes_to_host_(counter("inic/bytes_to_host")) {
+      bytes_to_host_(counter("inic/bytes_to_host")),
+      crc_dropped_(counter("inic/crc_drops")),
+      reset_dropped_(counter("inic/reset_drops")),
+      peer_unreachable_(counter("inic/peer_unreachable")),
+      resets_(counter("inic/resets")) {
   if (cfg_.shared_card_bus) {
     card_bus_ = std::make_unique<sim::FifoResource>(
         node.engine(), cfg_.card_bus_rate,
@@ -51,12 +55,25 @@ trace::Counter& InicCard::counter(const char* name) {
 trace::Tracer& InicCard::tracer() { return node_.engine().tracer(); }
 
 Time InicCard::book_stage(sim::FifoResource& stage, Bytes size) {
-  const Time stage_done = stage.enqueue(size);
+  // During a reset window the whole datapath is frozen: every stage
+  // books after the window ends.  (enqueue_after(now) == enqueue when
+  // the card is healthy, so this is free on the common path.)
+  const Time earliest = std::max(node_.engine().now(), paused_until_);
+  const Time stage_done = stage.enqueue_after(earliest, size);
   if (!card_bus_) return stage_done;
   // Prototype: the same bytes also cross the single on-card bus; the
   // transfer completes only when both the stage and the bus are done.
-  const Time bus_done = card_bus_->enqueue(size);
+  const Time bus_done = card_bus_->enqueue_after(earliest, size);
   return std::max(stage_done, bus_done);
+}
+
+void InicCard::begin_reset(Time duration) {
+  sim::Engine& eng = node_.engine();
+  const Time until = eng.now() + duration;
+  if (until > paused_until_) paused_until_ = until;
+  resets_.add(eng.now(), 1);
+  tracer().instant(trace::Category::kInic, node_.id(), "inic/reset",
+                   eng.now(), duration.as_nanos());
 }
 
 sim::Semaphore& InicCard::credits_for(int dst) {
@@ -75,6 +92,9 @@ sim::Process InicCard::send_stream(int dst, Bytes size, std::uint64_t tag,
   // Zero-length messages still travel as one header packet so the
   // receiver can complete them (empty bucket in a skewed all-to-all).
   if (size.count() == 0) size = Bytes(1);
+  if (peer_unreachable(dst)) {
+    throw PeerUnreachableError(node_.id(), dst);
+  }
   sim::Engine& eng = node_.engine();
 
   // The FPGA transform is applied to the stream as it crosses the card —
@@ -103,6 +123,12 @@ sim::Process InicCard::send_stream(int dst, Bytes size, std::uint64_t tag,
 
     // Flow control: one credit per burst in flight to this destination.
     co_await credits.acquire();
+    if (peer_unreachable(dst)) {
+      // The retry budget ran out while we were blocked on a credit (the
+      // credits were force-released to wake us); surface the failure.
+      credits.release();
+      throw PeerUnreachableError(node_.id(), dst);
+    }
 
     const std::size_t packets =
         (burst + cfg_.packet.count() - 1) / cfg_.packet.count();
@@ -134,6 +160,8 @@ sim::Process InicCard::send_stream(int dst, Bytes size, std::uint64_t tag,
 
 Time InicCard::transmit_burst(const net::Frame& frame, Time not_before) {
   sim::Engine& eng = node_.engine();
+  // A resetting card cannot drive the MAC: the burst waits out the window.
+  if (not_before < paused_until_) not_before = paused_until_;
   const Time packet_time =
       transfer_time(cfg_.packet + cfg_.per_packet_overhead, net_tx_.rate());
   const Time tx_done =
@@ -147,7 +175,18 @@ Time InicCard::transmit_burst(const net::Frame& frame, Time not_before) {
   Time inject_at =
       tx_done - transfer_time(frame.wire, net_tx_.rate()) + packet_time;
   if (inject_at < eng.now()) inject_at = eng.now();
-  eng.schedule_at(inject_at, [this, frame] { network_.inject(frame); });
+  eng.schedule_at(inject_at, [this, frame] {
+    if (in_reset()) {
+      // A reset began between booking and injection: the frame dies on
+      // the card.  Go-back-N recovers it after the window.
+      reset_dropped_.add(node_.engine().now(), 1);
+      tracer().instant(trace::Category::kInic, node_.id(), "inic/reset_drop",
+                       node_.engine().now(),
+                       static_cast<std::int64_t>(frame.wire.count()));
+      return;
+    }
+    network_.inject(frame);
+  });
   return tx_done;
 }
 
@@ -161,9 +200,41 @@ void InicCard::track_outstanding(int dst, const net::Frame& frame) {
 
 void InicCard::arm_retransmit_timer(int dst) {
   const std::uint64_t generation = ++retransmit_generation_[dst];
-  node_.engine().schedule(cfg_.retransmit_timeout, [this, dst, generation] {
+  node_.engine().schedule(effective_retransmit_timeout(dst),
+                          [this, dst, generation] {
     check_retransmit(dst, generation);
   });
+}
+
+Time InicCard::effective_retransmit_timeout(int dst) const {
+  Time timeout = cfg_.retransmit_timeout;
+  const auto it = retry_rounds_.find(dst);
+  const std::uint32_t rounds = it == retry_rounds_.end() ? 0 : it->second;
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    timeout = timeout * cfg_.retransmit_backoff;
+    if (timeout >= cfg_.retransmit_timeout_cap) {
+      return cfg_.retransmit_timeout_cap;
+    }
+  }
+  return timeout;
+}
+
+void InicCard::declare_peer_unreachable(int dst) {
+  sim::Engine& eng = node_.engine();
+  auto it = outstanding_.find(dst);
+  const std::size_t abandoned =
+      it == outstanding_.end() ? 0 : it->second.size();
+  if (it != outstanding_.end()) it->second.clear();
+  unreachable_peers_.insert(dst);
+  peer_unreachable_.add(eng.now(), 1);
+  tracer().instant(trace::Category::kInic, node_.id(),
+                   "inic/peer_unreachable", eng.now(), dst);
+  // Each abandoned burst held one credit; return them so senders blocked
+  // in credits.acquire() wake up and observe the failure.
+  sim::Semaphore& credits = credits_for(dst);
+  for (std::size_t i = 0; i < abandoned; ++i) {
+    credits.release();
+  }
 }
 
 void InicCard::check_retransmit(int dst, std::uint64_t generation) {
@@ -172,13 +243,20 @@ void InicCard::check_retransmit(int dst, std::uint64_t generation) {
   if (it == outstanding_.end() || it->second.empty()) return;
   sim::Engine& eng = node_.engine();
   const OutstandingBurst& front = it->second.front();
-  if (eng.now() - front.sent_at < cfg_.retransmit_timeout) {
+  if (eng.now() - front.sent_at < effective_retransmit_timeout(dst)) {
     // Credit progress happened since the timer was armed; re-check later.
     arm_retransmit_timer(dst);
     return;
   }
+  std::uint32_t& rounds = retry_rounds_[dst];
+  if (cfg_.max_retries > 0 && rounds >= cfg_.max_retries) {
+    declare_peer_unreachable(dst);
+    return;
+  }
+  ++rounds;
   // Go-back-N: resend every outstanding burst to this destination in
-  // order, refreshing their timestamps.
+  // order, refreshing their timestamps.  Consecutive fruitless rounds
+  // back the timer off exponentially (credit progress resets it).
   for (OutstandingBurst& burst : it->second) {
     transmit_burst(burst.frame, eng.now() + cfg_.card_latency);
     burst.sent_at = eng.now();
@@ -192,15 +270,46 @@ void InicCard::check_retransmit(int dst, std::uint64_t generation) {
 void InicCard::deliver(const net::Frame& frame) {
   sim::Engine& eng = node_.engine();
 
+  if (in_reset()) {
+    // The MAC is dark during a bitstream reconfiguration: everything
+    // arriving — data and credits alike — is lost on the floor.
+    reset_dropped_.add(eng.now(), 1);
+    tracer().instant(trace::Category::kInic, node_.id(), "inic/reset_drop",
+                     eng.now(), static_cast<std::int64_t>(frame.wire.count()));
+    return;
+  }
+  if (frame.corrupted) {
+    // Delivered but failed the CRC check: discarded without a credit, so
+    // the sender's go-back-N recovers it like a silent loss.
+    crc_dropped_.add(eng.now(), 1);
+    tracer().instant(trace::Category::kInic, node_.id(), "inic/crc_drop",
+                     eng.now(), static_cast<std::int64_t>(frame.wire.count()));
+    return;
+  }
+
   if (frame.kind == net::FrameKind::kControl) {
-    // Credit return, generated and consumed entirely in hardware.  A
-    // credit acknowledges the oldest outstanding burst to that peer;
-    // spurious credits (a duplicate burst re-credited after the original
-    // credit already arrived) are ignored so the window cannot inflate.
+    // Credit return, generated and consumed entirely in hardware.  The
+    // credit names the burst it acknowledges ((flow, seq) echoed from the
+    // data frame): only that burst is retired from the outstanding queue.
+    // An anonymous "pop the oldest" credit would let a later burst's
+    // credit retire an earlier, still-lost burst — dropping it from
+    // go-back-N and deadlocking the receiver.  Credits for bursts no
+    // longer outstanding (duplicate re-credits) are ignored so the window
+    // cannot inflate.
     auto it = outstanding_.find(frame.src);
     if (it == outstanding_.end() || it->second.empty()) return;
-    it->second.pop_front();
+    auto& queue = it->second;
+    auto burst = std::find_if(queue.begin(), queue.end(),
+                              [&frame](const OutstandingBurst& b) {
+                                return b.frame.flow == frame.flow &&
+                                       b.frame.seq == frame.seq;
+                              });
+    if (burst == queue.end()) return;
+    queue.erase(burst);
     credits_received_.add(eng.now(), 1);
+    // Credit progress: the path to this peer is alive, so the
+    // retransmission backoff resets.
+    retry_rounds_[frame.src] = 0;
     credits_for(frame.src).release();
     if (cfg_.hw_retransmit && !it->second.empty()) {
       arm_retransmit_timer(frame.src);
@@ -217,6 +326,14 @@ void InicCard::deliver(const net::Frame& frame) {
 
   eng.schedule_at(ingested, [this, frame] {
     const std::uint64_t key = stream_key(frame.src, frame.flow);
+    if (completed_streams_.count(key)) {
+      // Retransmission of a burst whose message was already delivered
+      // (its credit was lost in flight): re-credit so the sender retires
+      // it, but never re-assemble — the inbox sees each message once.
+      duplicates_dropped_.add(node_.engine().now(), 1);
+      send_credit(frame.src, frame.flow, frame.seq);
+      return;
+    }
     InboundStream& stream = inbound_[key];
 
     if (frame.context && !stream.started) {
@@ -245,18 +362,19 @@ void InicCard::deliver(const net::Frame& frame) {
       // Duplicate of an already-consumed burst (its credit was lost):
       // re-credit but do not consume.
       duplicates_dropped_.add(node_.engine().now(), 1);
-      send_credit(frame.src);
+      send_credit(frame.src, frame.flow, frame.seq);
       return;
     }
 
     // In-order burst: consume and credit.
-    send_credit(frame.src);
+    send_credit(frame.src, frame.flow, frame.seq);
     assert(stream.remaining >= frame.payload.count());
     stream.next_seq += frame.payload.count();
     stream.remaining -= frame.payload.count();
     if (stream.remaining == 0) {
       proto::Message msg = std::move(stream.assembling);
       inbound_.erase(key);
+      completed_streams_.insert(key);
       if (recv_transform_) {
         msg.payload = recv_transform_(std::move(msg.payload));
       }
@@ -269,7 +387,7 @@ void InicCard::deliver(const net::Frame& frame) {
   });
 }
 
-void InicCard::send_credit(int dst) {
+void InicCard::send_credit(int dst, std::uint32_t flow, std::uint64_t seq) {
   net::Frame credit;
   credit.src = node_.id();
   credit.dst = dst;
@@ -277,6 +395,8 @@ void InicCard::send_credit(int dst) {
   credit.wire = Bytes(84);  // minimum Ethernet frame + framing overhead
   credit.packet_count = 1;
   credit.kind = net::FrameKind::kControl;
+  credit.flow = flow;  // which burst this credit acknowledges
+  credit.seq = seq;
   // Control frames slot into the transmit stream like any other packet.
   const Time tx_done = book_stage(net_tx_, credit.wire);
   node_.engine().schedule_at(tx_done + cfg_.card_latency,

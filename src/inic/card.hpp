@@ -29,6 +29,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/units.hpp"
@@ -44,6 +46,26 @@
 #include "trace/counters.hpp"
 
 namespace acc::inic {
+
+/// Thrown out of send_stream() when the go-back-N retry budget
+/// (InicConfig::max_retries) is exhausted with no credit progress: the
+/// hardware gives up and surfaces the dead peer to the application layer
+/// instead of retransmitting forever.
+class PeerUnreachableError : public std::runtime_error {
+ public:
+  PeerUnreachableError(int node, int peer)
+      : std::runtime_error("INIC " + std::to_string(node) +
+                           ": peer " + std::to_string(peer) +
+                           " unreachable (go-back-N retry budget exhausted)"),
+        node_(node),
+        peer_(peer) {}
+  int node() const { return node_; }
+  int peer() const { return peer_; }
+
+ private:
+  int node_;
+  int peer_;
+};
 
 class InicCard : public net::Endpoint {
  public:
@@ -111,6 +133,26 @@ class InicCard : public net::Endpoint {
   sim::Process flush_to_host();
 
   // ------------------------------------------------------------------
+  // Fault / reset handling
+  // ------------------------------------------------------------------
+
+  /// Takes the card offline for `duration` — the FPGA bitstream
+  /// reconfiguration window.  While resetting, arriving frames (data and
+  /// credits) are lost at the MAC, transmissions stall, and every DMA
+  /// stage books after the window; overlapping calls extend the window.
+  /// Peers recover through their go-back-N; SimCluster's degraded mode
+  /// reroutes new transfers over TCP for the duration.
+  void begin_reset(Time duration);
+  bool in_reset() const { return node_.engine().now() < paused_until_; }
+  Time reset_done_at() const { return paused_until_; }
+
+  /// True once the retry budget to `dst` was exhausted; subsequent
+  /// send_stream() calls to it fail fast with PeerUnreachableError.
+  bool peer_unreachable(int dst) const {
+    return unreachable_peers_.count(dst) != 0;
+  }
+
+  // ------------------------------------------------------------------
   // Endpoint interface + stats
   // ------------------------------------------------------------------
 
@@ -120,6 +162,9 @@ class InicCard : public net::Endpoint {
   std::uint64_t credits_received() const { return credits_received_.value(); }
   std::uint64_t retransmits() const { return retransmits_.value(); }
   std::uint64_t duplicates_dropped() const { return duplicates_dropped_.value(); }
+  std::uint64_t crc_drops() const { return crc_dropped_.value(); }
+  std::uint64_t reset_drops() const { return reset_dropped_.value(); }
+  std::uint64_t peers_lost() const { return peer_unreachable_.value(); }
   Bytes bytes_to_host() const { return Bytes(bytes_to_host_.value()); }
   const InicConfig& config() const { return cfg_; }
   hw::Node& node() { return node_; }
@@ -151,7 +196,11 @@ class InicCard : public net::Endpoint {
   trace::Tracer& tracer();
 
   sim::Semaphore& credits_for(int dst);
-  void send_credit(int dst);
+  /// Returns a credit that acknowledges one specific burst: (flow, seq)
+  /// identify it so the sender retires exactly that burst from its
+  /// outstanding queue (an anonymous credit could retire a still-lost
+  /// earlier burst and silently drop it from retransmission).
+  void send_credit(int dst, std::uint32_t flow, std::uint64_t seq);
 
   /// Books a burst on the transmit stage(s) and schedules its injection
   /// (cut-through); shared by first transmission and retransmission.
@@ -161,6 +210,13 @@ class InicCard : public net::Endpoint {
   void track_outstanding(int dst, const net::Frame& frame);
   void arm_retransmit_timer(int dst);
   void check_retransmit(int dst, std::uint64_t generation);
+  /// Current go-back-N timeout to `dst`, including consecutive-round
+  /// backoff.
+  Time effective_retransmit_timeout(int dst) const;
+  /// Abandons all outstanding bursts to `dst`, returns their credits (so
+  /// blocked senders wake and observe the failure), and records the
+  /// peer-unreachable event.
+  void declare_peer_unreachable(int dst);
 
   hw::Node& node_;
   net::Network& network_;
@@ -180,6 +236,10 @@ class InicCard : public net::Endpoint {
   sim::Channel<proto::Message> card_inbox_;
   std::map<int, std::unique_ptr<sim::Semaphore>> credits_;
   std::map<std::uint64_t, InboundStream> inbound_;  // keyed by (src<<32|msg)
+  // Streams already delivered to the inbox, so a retransmitted burst whose
+  // credit was lost is re-credited instead of re-assembled into a
+  // duplicate message (exactly-once delivery at the card layer).
+  std::set<std::uint64_t> completed_streams_;
   std::uint64_t next_msg_id_ = 1;
 
   // Threshold-batched host delivery state.
@@ -187,9 +247,16 @@ class InicCard : public net::Endpoint {
   Time last_host_delivery_ = Time::zero();
 
   // Reliability state (hw_retransmit): per-destination outstanding
-  // bursts awaiting credits, FIFO, plus a timer generation counter.
+  // bursts awaiting credits, FIFO, plus a timer generation counter, the
+  // consecutive-retry-round count (drives backoff and the retry budget),
+  // and peers given up on.
   std::map<int, std::deque<OutstandingBurst>> outstanding_;
   std::map<int, std::uint64_t> retransmit_generation_;
+  std::map<int, std::uint32_t> retry_rounds_;
+  std::set<int> unreachable_peers_;
+
+  // Fault/reset window: the card is offline until this instant.
+  Time paused_until_ = Time::zero();
 
   // Offload-phase statistics are trace counters (shared with reports).
   trace::Counter& bursts_sent_;
@@ -197,6 +264,10 @@ class InicCard : public net::Endpoint {
   trace::Counter& retransmits_;
   trace::Counter& duplicates_dropped_;
   trace::Counter& bytes_to_host_;
+  trace::Counter& crc_dropped_;
+  trace::Counter& reset_dropped_;
+  trace::Counter& peer_unreachable_;
+  trace::Counter& resets_;
 };
 
 }  // namespace acc::inic

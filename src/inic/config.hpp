@@ -54,6 +54,17 @@ struct InicConfig {
   /// protocol is lossless by construction on a healthy fabric.
   bool hw_retransmit = false;
   Time retransmit_timeout = Time::millis(2.0);
+  /// Go-back-N retry budget per destination: after this many consecutive
+  /// retransmission rounds with no credit progress the card declares the
+  /// peer unreachable (surfaced to the application as
+  /// PeerUnreachableError).  0 keeps the historical retry-forever
+  /// behaviour.
+  std::size_t max_retries = 0;
+  /// Backoff between consecutive retransmission rounds to the same
+  /// destination: each round multiplies the timeout by this factor, up to
+  /// the cap; credit progress resets it.  1.0 disables backoff.
+  double retransmit_backoff = 2.0;
+  Time retransmit_timeout_cap = Time::millis(32.0);
 
   static InicConfig ideal() { return InicConfig{}; }
 

@@ -31,6 +31,10 @@ struct Frame {
   FrameKind kind = FrameKind::kData;
   std::uint64_t seq = 0;         // protocol sequence number (first byte)
   std::uint64_t id = 0;          // network-assigned, unique per injection
+  /// Set by fault injection: the frame reaches the endpoint but fails its
+  /// CRC there.  Distinct from silent loss — the bytes still occupy the
+  /// fabric and the receiving device, but the protocol never sees them.
+  bool corrupted = false;
   /// Protocol-defined context riding the frame (e.g. a message header on
   /// the first burst of a TCP message).  Opaque to the network.
   std::shared_ptr<void> context;

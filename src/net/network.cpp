@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -13,20 +14,55 @@ Network::Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
       dropped_(
           eng.counters().get(trace::Category::kNet, -1, "net/frames_dropped")),
       bytes_forwarded_(eng.counters().get(trace::Category::kNet, -1,
-                                          "net/bytes_forwarded")) {
+                                          "net/bytes_forwarded")),
+      link_dropped_(
+          eng.counters().get(trace::Category::kNet, -1, "net/link_drops")),
+      burst_dropped_(
+          eng.counters().get(trace::Category::kNet, -1, "net/burst_drops")),
+      corrupted_(
+          eng.counters().get(trace::Category::kNet, -1, "net/corrupted")) {
   ports_.reserve(ports);
   for (std::size_t p = 0; p < ports; ++p) {
-    ports_.push_back(Port{
-        nullptr,
-        std::make_unique<sim::FifoResource>(eng, cfg.line_rate,
-                                            "egress-" + std::to_string(p)),
-        Bytes::zero()});
+    Port port;
+    port.egress = std::make_unique<sim::FifoResource>(
+        eng, cfg.line_rate, "egress-" + std::to_string(p));
+    port.capacity = cfg.port_buffer;
+    ports_.push_back(std::move(port));
   }
 }
 
 void Network::set_random_loss(double probability, std::uint64_t seed) {
   loss_probability_ = probability;
   loss_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
+}
+
+void Network::set_burst_loss(const fault::GilbertElliottParams& params,
+                             std::uint64_t seed) {
+  burst_loss_ = std::make_unique<fault::GilbertElliott>(params, seed);
+}
+
+void Network::clear_burst_loss() { burst_loss_.reset(); }
+
+void Network::set_corruption(double probability, std::uint64_t seed) {
+  corruption_probability_ = probability;
+  corruption_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
+}
+
+void Network::set_link_state(int node, bool up) {
+  ports_.at(static_cast<std::size_t>(node)).link_up = up;
+}
+
+void Network::set_port_rate_factor(int node, double factor) {
+  factor = std::clamp(factor, 1e-6, 1.0);
+  ports_.at(static_cast<std::size_t>(node))
+      .egress->set_rate(cfg_.line_rate * factor);
+}
+
+void Network::set_port_buffer_factor(int node, double factor) {
+  factor = std::clamp(factor, 0.0, 1.0);
+  ports_.at(static_cast<std::size_t>(node)).capacity =
+      Bytes(static_cast<std::uint64_t>(
+          static_cast<double>(cfg_.port_buffer.count()) * factor));
 }
 
 void Network::attach(int node, Endpoint& endpoint) {
@@ -46,6 +82,17 @@ void Network::inject(Frame frame) {
                         eng_.now(),
                         static_cast<std::int64_t>(frame.wire.count()));
 
+  // Link state gates everything: a downed port loses frames in either
+  // direction at the PHY, before any loss/corruption process sees them.
+  if (!ports_.at(static_cast<std::size_t>(frame.src)).link_up ||
+      !port.link_up) {
+    dropped_.add(eng_.now(), 1);
+    link_dropped_.add(eng_.now(), 1);
+    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
+                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    return;
+  }
+
   // The frame reaches the switch after the ingress link latency; the
   // buffer admission decision happens there.
   // Injected loss models bit errors on the links; the frame vanishes
@@ -57,9 +104,30 @@ void Network::inject(Frame frame) {
     return;
   }
 
+  // Correlated loss: the Gilbert–Elliott chain advances once per offered
+  // frame, so burst structure is independent of which frames uniform
+  // loss already removed.
+  if (burst_loss_ && burst_loss_->lose_frame()) {
+    dropped_.add(eng_.now(), 1);
+    burst_dropped_.add(eng_.now(), 1);
+    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/burst_loss",
+                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    return;
+  }
+
+  // Corruption: the frame survives the fabric but will fail its CRC at
+  // the endpoint.  It still consumes buffering and serialization — the
+  // cost structure that distinguishes it from silent loss.
+  if (corruption_rng_ && corruption_rng_->chance(corruption_probability_)) {
+    frame.corrupted = true;
+    corrupted_.add(eng_.now(), 1);
+    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/corrupt",
+                          eng_.now(), static_cast<std::int64_t>(frame.id));
+  }
+
   eng_.schedule(cfg_.link_latency + cfg_.switch_latency, [this, frame,
                                                           &port]() mutable {
-    if (port.buffered + frame.wire > cfg_.port_buffer) {
+    if (port.buffered + frame.wire > port.capacity) {
       dropped_.add(eng_.now(), 1);
       eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
                             eng_.now(), static_cast<std::int64_t>(frame.id));

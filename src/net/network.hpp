@@ -6,6 +6,12 @@
 // buffers") and TCP's loss/timeout behaviour both hinge on this buffer
 // model, so it is explicit: every output port has a byte-capacity buffer;
 // a burst that does not fit is dropped whole and counted.
+//
+// Fault hooks (driven by src/fault/, but usable directly): per-port link
+// up/down, uniform and Gilbert–Elliott bursty loss, frame corruption
+// (delivered but CRC-failed at the endpoint), per-port line-rate
+// degradation, and per-port buffer shrink.  All are deterministic per
+// seed and inert until configured.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "fault/gilbert_elliott.hpp"
 #include "net/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -62,11 +69,20 @@ class Network {
   // instrumentation the trace timeline records.
   std::uint64_t frames_forwarded() const { return forwarded_.value(); }
   std::uint64_t frames_dropped() const { return dropped_.value(); }
+  std::uint64_t frames_dropped_link_down() const { return link_dropped_.value(); }
+  std::uint64_t frames_dropped_burst() const { return burst_dropped_.value(); }
+  std::uint64_t frames_corrupted() const { return corrupted_.value(); }
   Bytes bytes_forwarded() const { return Bytes(bytes_forwarded_.value()); }
 
   /// Peak output-buffer occupancy seen on any port (bytes) — used by
   /// tests of the paper's "fits in network buffers" claim.
   Bytes peak_buffer_occupancy() const { return peak_occupancy_; }
+
+  // ------------------------------------------------------------------
+  // Fault hooks.  Every hook is deterministic: stochastic ones consume a
+  // dedicated RNG stream seeded by the caller; state changes take effect
+  // for frames *injected* after the call.
+  // ------------------------------------------------------------------
 
   /// Failure injection: independently drops each DATA frame with the
   /// given probability (control/ACK frames too — real bit errors do not
@@ -74,11 +90,43 @@ class Network {
   /// tests; off by default.
   void set_random_loss(double probability, std::uint64_t seed);
 
+  /// Correlated (bursty) loss via a Gilbert–Elliott two-state chain that
+  /// advances once per injected frame.  Replaces any previous burst-loss
+  /// configuration; clear_burst_loss() disables it.
+  void set_burst_loss(const fault::GilbertElliottParams& params,
+                      std::uint64_t seed);
+  void clear_burst_loss();
+
+  /// Marks each surviving frame corrupted with the given probability.
+  /// Corrupted frames traverse the fabric and are *delivered*; the
+  /// endpoint fails their CRC and discards them (counted there, not as a
+  /// network drop).  probability <= 0 disables.
+  void set_corruption(double probability, std::uint64_t seed);
+
+  /// Administrative/physical link state of one node's port.  While down,
+  /// every frame injected from or destined to that node is lost at the
+  /// link (counted in both frames_dropped() and
+  /// frames_dropped_link_down()).
+  void set_link_state(int node, bool up);
+  bool link_up(int node) const { return ports_.at(static_cast<std::size_t>(node)).link_up; }
+
+  /// Degrades (or restores) one port's egress line rate to
+  /// `factor` x nominal, e.g. a renegotiated 100 Mb/s link on a gigabit
+  /// fabric.  factor is clamped to (0, 1].
+  void set_port_rate_factor(int node, double factor);
+
+  /// Shrinks (or restores, factor = 1) one port's output-buffer capacity
+  /// to `factor` x configured.  Frames already buffered are unaffected;
+  /// admission uses the new capacity.
+  void set_port_buffer_factor(int node, double factor);
+
  private:
   struct Port {
     Endpoint* endpoint = nullptr;
     std::unique_ptr<sim::FifoResource> egress;
     Bytes buffered = Bytes::zero();
+    Bytes capacity = Bytes::zero();  // admission limit (fault-adjustable)
+    bool link_up = true;
   };
 
   sim::Engine& eng_;
@@ -86,9 +134,15 @@ class Network {
   std::vector<Port> ports_;
   double loss_probability_ = 0.0;
   std::unique_ptr<Rng> loss_rng_;
+  std::unique_ptr<fault::GilbertElliott> burst_loss_;
+  double corruption_probability_ = 0.0;
+  std::unique_ptr<Rng> corruption_rng_;
   trace::Counter& forwarded_;
   trace::Counter& dropped_;
   trace::Counter& bytes_forwarded_;
+  trace::Counter& link_dropped_;
+  trace::Counter& burst_dropped_;
+  trace::Counter& corrupted_;
   std::uint64_t next_frame_id_ = 1;
   Bytes peak_occupancy_ = Bytes::zero();
 };

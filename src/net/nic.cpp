@@ -27,7 +27,9 @@ StandardNic::StandardNic(hw::Node& node, Network& network,
       frames_received_(node.engine().counters().get(
           trace::Category::kNic, node.id(), "nic/frames_received")),
       frames_sent_(node.engine().counters().get(
-          trace::Category::kNic, node.id(), "nic/frames_sent")) {
+          trace::Category::kNic, node.id(), "nic/frames_sent")),
+      crc_dropped_(node.engine().counters().get(
+          trace::Category::kNic, node.id(), "nic/crc_drops")) {
   network_.attach(node.id(), *this);
 }
 
@@ -65,6 +67,15 @@ sim::Process StandardNic::transmit(Frame frame) {
 }
 
 void StandardNic::deliver(const Frame& frame) {
+  if (frame.corrupted) {
+    // Failed the Ethernet FCS check: dropped in the MAC, before any DMA
+    // or interrupt.  TCP sees it as a plain loss and retransmits.
+    crc_dropped_.add(node_.engine().now(), 1);
+    node_.engine().tracer().instant(
+        trace::Category::kNic, node_.id(), "nic/crc_drop",
+        node_.engine().now(), static_cast<std::int64_t>(frame.wire.count()));
+    return;
+  }
   // Bus-master DMA moves packets to host memory as they arrive; the
   // booking charges the PCI bus in full, while readiness is pipelined:
   // data is host-visible one setup+burst after the DMA stream starts

@@ -51,6 +51,7 @@ class StandardNic : public Endpoint {
   std::uint64_t interrupts_fired() const { return coalescer_.interrupts_fired(); }
   std::uint64_t frames_received() const { return frames_received_.value(); }
   std::uint64_t frames_sent() const { return frames_sent_.value(); }
+  std::uint64_t crc_drops() const { return crc_dropped_.value(); }
   hw::Node& node() { return node_; }
   Network& network() { return network_; }
 
@@ -73,6 +74,7 @@ class StandardNic : public Endpoint {
   RxHandler rx_handler_;
   trace::Counter& frames_received_;
   trace::Counter& frames_sent_;
+  trace::Counter& crc_dropped_;
 };
 
 }  // namespace acc::net

@@ -31,7 +31,9 @@ TcpStack::TcpStack(hw::Node& node, net::StandardNic& nic, const TcpConfig& cfg)
       retransmits_(node.engine().counters().get(
           trace::Category::kTcp, node.id(), "tcp/retransmits")),
       timeouts_(node.engine().counters().get(trace::Category::kTcp, node.id(),
-                                             "tcp/timeouts")) {
+                                             "tcp/timeouts")),
+      backoffs_(node.engine().counters().get(trace::Category::kTcp, node.id(),
+                                             "tcp/rto_backoffs")) {
   nic_.set_rx_handler([this](const net::Frame& f) { on_frame(f); });
 }
 
@@ -54,8 +56,15 @@ TcpStack::Connection& TcpStack::connection_from(int peer) {
 }
 
 Time TcpStack::current_rto(const Connection& c) const {
-  if (c.srtt == Time::zero()) return cfg_.min_rto;
-  return std::max(cfg_.min_rto, c.srtt * 3.0);
+  Time rto = c.srtt == Time::zero() ? cfg_.min_rto
+                                    : std::max(cfg_.min_rto, c.srtt * 3.0);
+  // Exponential backoff: each consecutive timeout on the same data
+  // doubles the timer, capped — a dead or badly lossy path must not be
+  // hammered on a fixed 200 ms clock.
+  for (int i = 0; i < c.backoff_shift && rto < cfg_.max_rto; ++i) {
+    rto = rto * 2.0;
+  }
+  return std::min(rto, cfg_.max_rto);
 }
 
 void TcpStack::update_rtt(Connection& c, Time sample) {
@@ -86,6 +95,7 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
   auto header = std::make_shared<MsgHeader>(
       MsgHeader{msg_id, tag, size.count(), std::move(payload), eng.now()});
 
+  bool retransmission = false;
   while (c.snd_una < msg_end) {
     const std::uint64_t burst_start = c.snd_una;
     c.snd_next = burst_start;
@@ -110,6 +120,7 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
 
     c.snd_next = burst_start + burst_bytes;
     c.burst_sent_at = eng.now();
+    c.burst_retransmitted = retransmission;
     eng.tracer().instant(trace::Category::kTcp, node_.id(), "tcp/tx_burst",
                          eng.now(), static_cast<std::int64_t>(burst_bytes));
     co_await nic_.transmit(frame);
@@ -125,11 +136,20 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
         e.tracer().instant(trace::Category::kTcp, node_.id(), "tcp/timeout",
                            e.now(),
                            static_cast<std::int64_t>(c.snd_next - c.snd_una));
-        // Loss: collapse the window per TCP's congestion response.
+        // Loss: collapse the window per TCP's congestion response, and
+        // back the timer off exponentially for the next attempt (the
+        // backoff resets when an ACK advances snd_una).
         c.ssthresh =
             std::max(c.cwnd / 2.0, 2.0 * static_cast<double>(cfg_.mss));
         c.cwnd =
             static_cast<double>(cfg_.initial_window_segments * cfg_.mss);
+        if (current_rto(c) < cfg_.max_rto) {
+          ++c.backoff_shift;
+          backoffs_.add(e.now(), 1);
+          e.tracer().instant(trace::Category::kTcp, node_.id(),
+                             "tcp/rto_backoff", e.now(),
+                             static_cast<std::int64_t>(c.backoff_shift));
+        }
         if (c.ack_event) c.ack_event->trigger();
       }
     });
@@ -141,8 +161,10 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
       eng.tracer().instant(trace::Category::kTcp, node_.id(),
                            "tcp/retransmit", eng.now(),
                            static_cast<std::int64_t>(c.snd_una));
+      retransmission = true;
       continue;
     }
+    retransmission = false;
   }
   c.send_lock.release();
 }
@@ -203,12 +225,19 @@ void TcpStack::on_ack(const net::Frame& frame) {
   const std::uint64_t ack = frame.seq;
   if (ack <= c.snd_una) return;  // stale
   c.snd_una = ack;
+  // Forward progress: the path is alive again, so the exponential RTO
+  // backoff resets.
+  c.backoff_shift = 0;
   if (c.snd_una >= c.snd_next) {
-    // Burst fully acknowledged: cancel the timer, take an RTT sample, and
-    // grow the window (double in slow start, +MSS in congestion
-    // avoidance), capped by the socket buffer.
+    // Burst fully acknowledged: cancel the timer, take an RTT sample
+    // (skipped for retransmitted bursts — Karn's rule: the ACK is
+    // ambiguous between transmissions), and grow the window (double in
+    // slow start, +MSS in congestion avoidance), capped by the socket
+    // buffer.
     ++c.rto_generation;
-    update_rtt(c, node_.engine().now() - c.burst_sent_at);
+    if (!c.burst_retransmitted) {
+      update_rtt(c, node_.engine().now() - c.burst_sent_at);
+    }
     const double cap = static_cast<double>(cfg_.max_window.count());
     if (c.cwnd < c.ssthresh) {
       c.cwnd = std::min(c.cwnd * 2.0, cap);

@@ -43,6 +43,10 @@ struct TcpConfig {
   std::size_t initial_window_segments = 2;
   Bytes max_window = Bytes::kib(64);      // socket-buffer cap on cwnd
   Time min_rto = Time::millis(200);
+  /// Cap on the exponentially backed-off RTO: repeated timeouts on the
+  /// same data double the timer (Karn/Jacobson) up to this ceiling; the
+  /// backoff resets as soon as an ACK advances snd_una.
+  Time max_rto = Time::seconds(5);
   /// Per-packet wire overhead: Ethernet framing + IP + TCP headers.
   Bytes per_packet_overhead = Bytes(78);  // 38 framing + 40 IP/TCP
   Bytes ack_wire_size = Bytes(78 + 0);    // header-only segment on the wire
@@ -69,6 +73,8 @@ class TcpStack {
   /// Retransmission count across all connections (tests, reports).
   std::uint64_t retransmits() const { return retransmits_.value(); }
   std::uint64_t timeouts() const { return timeouts_.value(); }
+  /// Times the RTO was doubled by consecutive timeouts on the same data.
+  std::uint64_t backoffs() const { return backoffs_.value(); }
 
   const TcpConfig& config() const { return cfg_; }
 
@@ -83,6 +89,8 @@ class TcpStack {
     std::uint64_t snd_una = 0;       // oldest unacknowledged byte
     std::uint64_t next_msg_id = 1;
     std::uint64_t rto_generation = 0;
+    int backoff_shift = 0;           // consecutive-timeout RTO doublings
+    bool burst_retransmitted = false;  // Karn: taint the burst's RTT sample
     Time srtt = Time::zero();        // smoothed RTT (zero = unmeasured)
     Time burst_sent_at = Time::zero();
     std::unique_ptr<sim::Event> ack_event;  // re-armed per burst
@@ -112,6 +120,7 @@ class TcpStack {
   std::vector<std::unique_ptr<sim::Process>> tx_in_flight_;
   trace::Counter& retransmits_;
   trace::Counter& timeouts_;
+  trace::Counter& backoffs_;
 };
 
 }  // namespace acc::proto

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 namespace acc::sim {
@@ -32,6 +33,7 @@ bool Engine::step() {
 Time Engine::run() {
   while (step()) {
     rethrow_if_failed();
+    check_time_budget();
   }
   rethrow_if_failed();
   return now_;
@@ -41,6 +43,7 @@ Time Engine::run_until(Time deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
     step();
     rethrow_if_failed();
+    check_time_budget();
   }
   rethrow_if_failed();
   if (now_ < deadline && queue_.empty()) {
@@ -51,6 +54,20 @@ Time Engine::run_until(Time deadline) {
     now_ = deadline;
   }
   return now_;
+}
+
+void Engine::check_time_budget() {
+  if (time_budget_ == Time::zero() || now_ <= time_budget_ || queue_.empty()) {
+    return;
+  }
+  tracer_.instant(trace::Category::kEngine, -1, "engine/watchdog", now_,
+                  static_cast<std::int64_t>(queue_.size()));
+  throw WatchdogTimeout(
+      "Engine watchdog: sim-time budget of " +
+      std::to_string(time_budget_.as_millis()) + " ms exceeded at t=" +
+      std::to_string(now_.as_millis()) + " ms with " +
+      std::to_string(queue_.size()) + " event(s) still pending after " +
+      std::to_string(executed_) + " executed — the run is not converging");
 }
 
 void Engine::rethrow_if_failed() {

@@ -12,6 +12,8 @@
 #include <exception>
 #include <functional>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -19,6 +21,16 @@
 #include "trace/trace.hpp"
 
 namespace acc::sim {
+
+/// Thrown by Engine::run()/run_until() when a watchdog sim-time budget is
+/// exceeded: the run made "progress" in simulated time without ever
+/// terminating (livelock — e.g. a retransmit timer rearming forever
+/// against a dead peer).  The message carries the engine diagnostics;
+/// ProcessGroup::join() appends which processes were still blocked.
+class WatchdogTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Engine {
  public:
@@ -48,6 +60,14 @@ class Engine {
   /// Runs until the queue is empty or simulated time would exceed
   /// `deadline`; events at exactly `deadline` still run.
   Time run_until(Time deadline);
+
+  /// Watchdog: makes run()/run_until() throw WatchdogTimeout once
+  /// simulated time passes `budget` with events still pending — a
+  /// no-progress guard for runs that would otherwise spin forever (e.g.
+  /// unbounded retransmission against a dead peer).  Time::zero()
+  /// disables (the default).
+  void set_time_budget(Time budget) { time_budget_ = budget; }
+  Time time_budget() const { return time_budget_; }
 
   /// Number of events executed so far (for tests and budget checks).
   std::uint64_t events_executed() const { return executed_; }
@@ -83,8 +103,10 @@ class Engine {
   };
 
   void rethrow_if_failed();
+  void check_time_budget();
 
   Time now_ = Time::zero();
+  Time time_budget_ = Time::zero();  // zero = no watchdog
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;

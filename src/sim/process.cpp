@@ -1,18 +1,45 @@
 #include "sim/process.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace acc::sim {
 
+std::string ProcessGroup::stuck_report() const {
+  std::string report;
+  std::size_t stuck = 0;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i]->done()) continue;
+    report += stuck == 0 ? "" : ", ";
+    report += names_[i].empty() ? "#" + std::to_string(i)
+                                : names_[i] + " (#" + std::to_string(i) + ")";
+    ++stuck;
+  }
+  if (stuck == 0) return "none";
+  return std::to_string(stuck) + " of " + std::to_string(processes_.size()) +
+         " process(es) blocked: " + report;
+}
+
 Time ProcessGroup::join() {
-  eng_.run();
+  try {
+    eng_.run();
+  } catch (const WatchdogTimeout& e) {
+    // Re-raise with the stuck-process report attached: the watchdog knows
+    // the engine state, the group knows which activities never finished.
+    throw WatchdogTimeout(std::string(e.what()) + "; " + stuck_report());
+  }
   for (const auto& p : processes_) {
     p->rethrow_if_failed();
-    if (!p->done()) {
-      throw std::logic_error(
-          "ProcessGroup::join: a process is still suspended after the event "
-          "queue drained (simulation deadlock)");
-    }
+  }
+  bool any_stuck = false;
+  for (const auto& p : processes_) {
+    if (!p->done()) any_stuck = true;
+  }
+  if (any_stuck) {
+    throw DeadlockError(
+        "ProcessGroup::join: the event queue drained with processes still "
+        "suspended (simulation deadlock); " +
+        stuck_report());
   }
   return last_finish_;
 }

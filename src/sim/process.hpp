@@ -14,6 +14,8 @@
 #include <coroutine>
 #include <exception>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -190,6 +192,15 @@ struct DelayUntil {
   void await_resume() const {}
 };
 
+/// Thrown by ProcessGroup::join() when the event queue drains with
+/// processes still suspended (classic simulation deadlock).  Derives from
+/// std::logic_error so existing handlers keep working; the message names
+/// the blocked processes.
+class DeadlockError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 /// A group of root processes run to completion together.  Keeps the
 /// Process wrappers (and thus the coroutine frames) alive for the duration
 /// of the run; join() rethrows the first failure.
@@ -197,8 +208,12 @@ class ProcessGroup {
  public:
   explicit ProcessGroup(Engine& eng) : eng_(eng) {}
 
-  void spawn(Process p) {
+  /// Spawns a detached root process.  `name` (optional) identifies the
+  /// process in watchdog/deadlock diagnostics; unnamed processes are
+  /// reported by their spawn index.
+  void spawn(Process p, std::string name = {}) {
     processes_.push_back(std::make_unique<Process>(std::move(p)));
+    names_.push_back(std::move(name));
     Process& proc = *processes_.back();
     proc.on_finished([this] {
       if (eng_.now() > last_finish_) last_finish_ = eng_.now();
@@ -207,7 +222,9 @@ class ProcessGroup {
   }
 
   /// Runs the engine until all events drain, then verifies every process
-  /// finished (a process still pending means deadlock).
+  /// finished.  A process still pending throws DeadlockError naming the
+  /// stuck processes; an engine watchdog trip rethrows WatchdogTimeout
+  /// with the same stuck-process report appended.
   ///
   /// Returns the time the LAST PROCESS finished — not the time the event
   /// queue emptied.  The two differ when defensive timers (e.g. TCP
@@ -217,10 +234,15 @@ class ProcessGroup {
 
   std::size_t size() const { return processes_.size(); }
 
+  /// Human-readable list of processes that have not finished ("none" when
+  /// all are done) — what the deadlock/watchdog diagnostics embed.
+  std::string stuck_report() const;
+
  private:
   Engine& eng_;
   Time last_finish_ = Time::zero();
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::string> names_;
 };
 
 }  // namespace acc::sim

@@ -72,6 +72,11 @@ class FifoResource {
     return busy / now;
   }
 
+  /// Changes the service rate (fault injection: a renegotiated or
+  /// degraded link).  Already-booked requests keep their finish times —
+  /// the new rate applies from the next enqueue.
+  void set_rate(Bandwidth rate) { rate_ = rate; }
+
   Bandwidth rate() const { return rate_; }
   Bytes bytes_moved() const { return bytes_moved_; }
   const std::string& name() const { return name_; }

@@ -19,6 +19,7 @@ const char* to_string(Category c) {
     case Category::kTcp: return "tcp";
     case Category::kInic: return "inic";
     case Category::kApp: return "app";
+    case Category::kFault: return "fault";
   }
   return "?";
 }

@@ -50,6 +50,7 @@ enum class Category : std::uint8_t {
   kTcp,          // TCP segments and timers
   kInic,         // INIC offload phases
   kApp,          // application phases
+  kFault,        // injected faults (src/fault/) and recovery milestones
 };
 
 const char* to_string(Category c);

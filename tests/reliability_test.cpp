@@ -49,6 +49,79 @@ TEST(Reliability, TcpDeliversUnderRandomLoss) {
   EXPECT_GT(stack_a.retransmits(), 0u);
 }
 
+TEST(Reliability, TcpConvergesUnderSustained30PercentLoss) {
+  // Brutal but survivable: with ~1/3 of all frames dying, forward
+  // progress hinges on the exponential RTO backoff — a fixed RTO would
+  // retransmit into the loss at a constant rate and converge far slower
+  // (before the backoff fix this scenario effectively never finished).
+  sim::Engine eng;
+  net::Network network(eng, 2);
+  network.set_random_loss(0.30, 99);
+
+  hw::Node a(eng, 0), b(eng, 1);
+  proto::TcpConfig tcp_cfg;
+  tcp_cfg.min_rto = Time::millis(5);  // keep the test quick
+  net::StandardNic nic_a(a, network), nic_b(b, network);
+  proto::TcpStack stack_a(a, nic_a, tcp_cfg), stack_b(b, nic_b, tcp_cfg);
+
+  std::vector<proto::Message> received;
+  sim::ProcessGroup group(eng);
+  group.spawn([](proto::TcpStack& s) -> sim::Process {
+    for (std::uint64_t m = 0; m < 8; ++m) {
+      co_await s.send_message(1, Bytes::kib(16), m, std::any{});
+    }
+  }(stack_a));
+  group.spawn([](proto::TcpStack& s, std::vector<proto::Message>& out)
+                  -> sim::Process {
+    for (int m = 0; m < 8; ++m) out.push_back(co_await s.inbox().recv());
+  }(stack_b, received));
+  group.join();
+
+  ASSERT_EQ(received.size(), 8u);
+  for (std::uint64_t m = 0; m < 8; ++m) EXPECT_EQ(received[m].tag, m);
+  EXPECT_GT(stack_a.retransmits(), 0u);
+  // 30% loss guarantees back-to-back losses of the same burst, so the
+  // backoff machinery must have engaged.
+  EXPECT_GT(stack_a.backoffs(), 0u);
+}
+
+TEST(Reliability, TcpDeliversUnderBurstyLoss) {
+  // Correlated (Gilbert–Elliott) loss: long good stretches, short bad
+  // dwells that kill several consecutive frames — the pattern that
+  // punishes fixed-interval retransmission hardest.
+  sim::Engine eng;
+  net::Network network(eng, 2);
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.9;
+  network.set_burst_loss(ge, 17);
+
+  hw::Node a(eng, 0), b(eng, 1);
+  proto::TcpConfig tcp_cfg;
+  tcp_cfg.min_rto = Time::millis(5);
+  net::StandardNic nic_a(a, network), nic_b(b, network);
+  proto::TcpStack stack_a(a, nic_a, tcp_cfg), stack_b(b, nic_b, tcp_cfg);
+
+  std::vector<proto::Message> received;
+  sim::ProcessGroup group(eng);
+  group.spawn([](proto::TcpStack& s) -> sim::Process {
+    for (std::uint64_t m = 0; m < 10; ++m) {
+      co_await s.send_message(1, Bytes::kib(32), m, std::any{});
+    }
+  }(stack_a));
+  group.spawn([](proto::TcpStack& s, std::vector<proto::Message>& out)
+                  -> sim::Process {
+    for (int m = 0; m < 10; ++m) out.push_back(co_await s.inbox().recv());
+  }(stack_b, received));
+  group.join();
+
+  ASSERT_EQ(received.size(), 10u);
+  for (std::uint64_t m = 0; m < 10; ++m) EXPECT_EQ(received[m].tag, m);
+  EXPECT_GT(network.frames_dropped_burst(), 0u);
+  EXPECT_GT(stack_a.retransmits(), 0u);
+}
+
 struct LossyInicRig {
   LossyInicRig(double loss, bool hw_retransmit) {
     network = std::make_unique<net::Network>(eng, 2);
@@ -123,6 +196,37 @@ TEST(Reliability, InicDuplicateBurstsAreDiscarded) {
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(received[0].size, Bytes::mib(1));
   EXPECT_GT(rig.card_b->duplicates_dropped(), 0u);
+}
+
+TEST(Reliability, InicHwRetransmitRecoversFromBurstyLoss) {
+  LossyInicRig rig(0.0, /*hw_retransmit=*/true);
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.03;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.8;
+  rig.network->set_burst_loss(ge, 23);
+
+  std::vector<proto::Message> received;
+  sim::ProcessGroup group(rig.eng);
+  group.spawn([](inic::InicCard& c) -> sim::Process {
+    for (std::uint64_t m = 0; m < 5; ++m) {
+      co_await c.send_stream(1, Bytes::kib(256), m, std::any{});
+    }
+  }(*rig.card_a));
+  group.spawn([](inic::InicCard& c, std::vector<proto::Message>& out)
+                  -> sim::Process {
+    for (int m = 0; m < 5; ++m) out.push_back(co_await c.card_inbox().recv());
+  }(*rig.card_b, received));
+  group.join();
+
+  ASSERT_EQ(received.size(), 5u);
+  for (std::uint64_t m = 0; m < 5; ++m) EXPECT_EQ(received[m].tag, m);
+  EXPECT_GT(rig.network->frames_dropped_burst(), 0u);
+  EXPECT_GT(rig.card_a->retransmits(), 0u);
+  // A burst can take out a data frame and its neighbours together; the
+  // go-back-N machinery still keeps the host out of the recovery.
+  EXPECT_EQ(rig.node_a->cpu().interrupts_serviced(), 0u);
+  EXPECT_EQ(rig.node_b->cpu().interrupts_serviced(), 0u);
 }
 
 TEST(Reliability, FftVerifiesUnderLossOnTcp) {

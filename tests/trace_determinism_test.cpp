@@ -13,7 +13,9 @@
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
+#include "fault/fault.hpp"
 #include "model/calibration.hpp"
+#include "net/network.hpp"
 #include "trace/trace.hpp"
 
 namespace acc {
@@ -68,6 +70,33 @@ RunSummary traced_lossy_fft_run(std::uint64_t loss_seed) {
   apps::FftRunOptions opts;
   opts.verify = false;  // loss only delays delivery, but keep runs short
   const auto result = apps::run_parallel_fft(cluster, 64, opts);
+  return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
+          result.total};
+}
+
+// Fault-injected INIC FFT: scripted window edges plus a seeded
+// Gilbert–Elliott loss chain, so both the fault schedule and its
+// stochastic content must replay.
+RunSummary traced_faulted_fft_run(std::uint64_t fault_seed) {
+  apps::ClusterOptions copts;
+  copts.inic_hw_retransmit = true;
+  copts.degraded_fallback = true;
+  apps::SimCluster cluster(4, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), copts);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.5;
+  fault::FaultPlan plan;
+  plan.with_seed(fault_seed)
+      .with_burst_loss(Time::micros(50), Time::millis(20), ge)
+      .with_card_reset(1, Time::micros(150), Time::micros(400));
+  fault::FaultInjector injector(cluster, plan);
+  apps::FftRunOptions opts;
+  const auto result = apps::run_parallel_fft(cluster, 64, opts);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(injector.events_fired(), 0u);
   return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
           result.total};
 }
@@ -127,9 +156,30 @@ TEST(TraceDeterminism, LossyTcpSameSeedReplaysIdentically) {
   EXPECT_EQ(a.digest, b.digest);
 }
 
+TEST(TraceDeterminism, FaultInjectedSameSeedReplaysIdentically) {
+  // The determinism contract extends to faulted runs: the same fault
+  // plan (windows + seed) against the same cluster must replay the whole
+  // recovery — retransmissions, fallback reroutes, all of it — exactly.
+  const auto a = traced_faulted_fft_run(/*fault_seed=*/5);
+  const auto b = traced_faulted_fft_run(/*fault_seed=*/5);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
 // ---------------------------------------------------------------------
 // Seed sweeps -> digests move with the seed
 // ---------------------------------------------------------------------
+
+TEST(TraceDeterminism, FaultDigestTracksFaultSeed) {
+  // Same windows, different stochastic content: the burst-loss chain is
+  // seeded from the plan, so a different plan seed must reshuffle which
+  // frames die and move the digest.
+  const auto a = traced_faulted_fft_run(/*fault_seed=*/5);
+  const auto b = traced_faulted_fft_run(/*fault_seed=*/6);
+  EXPECT_NE(a.digest, b.digest);
+}
 
 TEST(TraceDeterminism, SortDigestTracksKeySeed) {
   // Sort timing is data-dependent (bucket sizes follow the keys), so a
