@@ -1,0 +1,196 @@
+// Unified benchmark driver: executes every simulated figure/ablation
+// sweep (src/runner/bench_points.hpp) through the parallel SweepRunner
+// and emits both the human tables and a machine-readable
+// BENCH_results.json trajectory (schema: docs/BENCHMARKS.md).
+//
+// Usage:
+//   bench_all [--threads=N] [--points=full|reduced] [--out=PATH]
+//             [--check-digests] [--list]
+//
+//   --threads=N       pool size (default: hardware concurrency; 1 = the
+//                     serial reference execution)
+//   --points=reduced  CI-sized grid — every suite, small problems
+//   --out=PATH        JSON output path (default BENCH_results.json;
+//                     "-" suppresses the file)
+//   --check-digests   after the pooled sweep, re-run every point on one
+//                     thread and fail (exit 1) unless every pooled
+//                     digest, simulated time, and counter matches its
+//                     serial re-run — the concurrent-isolation gate CI
+//                     enforces
+//   --list            print the point set and exit
+//
+// Every point is digest-deterministic, so the JSON (wall-clock fields
+// aside) is byte-identical across runs and thread counts.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/bench_json.hpp"
+#include "runner/bench_points.hpp"
+#include "runner/sweep.hpp"
+
+using namespace acc;
+
+namespace {
+
+struct Options {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool reduced = false;
+  bool check_digests = false;
+  bool list = false;
+  std::string out = "BENCH_results.json";
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--points=reduced") {
+      opts.reduced = true;
+    } else if (arg == "--points=full") {
+      opts.reduced = false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out = arg.substr(6);
+    } else if (arg == "--check-digests") {
+      opts.check_digests = true;
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_suite_tables(const std::vector<runner::RunRecord>& results) {
+  std::vector<std::string> suites;
+  for (const auto& r : results) {
+    bool seen = false;
+    for (const auto& s : suites) seen = seen || s == r.suite;
+    if (!seen) suites.push_back(r.suite);
+  }
+  for (const auto& suite : suites) {
+    print_banner(suite);
+    Table table({"point", "sim (ms)", "speedup", "digest", "wall (ms)"});
+    for (const auto& r : results) {
+      if (r.suite != suite) continue;
+      table.row().add(r.name);
+      if (!r.ok) {
+        table.add("ERROR: " + r.error).skip().skip();
+      } else {
+        table.add(r.metrics.sim_time.as_millis(), 2);
+        if (r.metrics.speedup != 0.0) {
+          table.add(r.metrics.speedup, 2);
+        } else {
+          table.skip();
+        }
+        table.add(runner::digest_hex(r.metrics.digest));
+      }
+      table.add(r.wall_ms, 1);
+    }
+    table.print();
+  }
+}
+
+/// Compares the pooled sweep against a serial re-run of the same points:
+/// digests, simulated times, and every captured counter must match
+/// bit-for-bit (the concurrent-isolation contract).  Returns mismatches.
+int compare_against_serial(const std::vector<runner::RunPoint>& points,
+                           const std::vector<runner::RunRecord>& pooled) {
+  std::puts("\n== digest check: re-running every point serially ==");
+  runner::SweepRunner serial_runner(/*threads=*/1);
+  const auto serial = serial_runner.run(points);
+  int mismatches = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = pooled[i];
+    const auto& b = serial[i];
+    const bool same = a.ok == b.ok && a.metrics.digest == b.metrics.digest &&
+                      a.metrics.sim_time == b.metrics.sim_time &&
+                      a.metrics.trace_records == b.metrics.trace_records &&
+                      a.metrics.events == b.metrics.events &&
+                      a.metrics.counters == b.metrics.counters;
+    if (!same) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH %s/%s: pooled %s (%.3f ms) vs serial "
+                   "%s (%.3f ms)\n",
+                   a.suite.c_str(), a.name.c_str(),
+                   runner::digest_hex(a.metrics.digest).c_str(),
+                   a.metrics.sim_time.as_millis(),
+                   runner::digest_hex(b.metrics.digest).c_str(),
+                   b.metrics.sim_time.as_millis());
+    }
+  }
+  if (mismatches == 0) {
+    std::printf("digest check passed: %zu/%zu points reproduce their "
+                "serial digests\n",
+                serial.size(), serial.size());
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  const auto points = runner::figure_sweep_points(opts.reduced);
+  if (opts.list) {
+    for (const auto& p : points) {
+      std::printf("%s/%s\n", p.suite.c_str(), p.name.c_str());
+    }
+    return 0;
+  }
+
+  runner::SweepRunner pool(opts.threads);
+  print_banner("bench_all: " + std::to_string(points.size()) + " points (" +
+               std::string(opts.reduced ? "reduced" : "full") + ") on " +
+               std::to_string(pool.threads()) + " threads");
+  const auto results = pool.run(points);
+
+  print_suite_tables(results);
+
+  int failed = 0;
+  double points_wall_ms = 0.0;
+  for (const auto& r : results) {
+    points_wall_ms += r.wall_ms;
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s/%s: %s\n", r.suite.c_str(),
+                   r.name.c_str(), r.error.c_str());
+    }
+  }
+  const double sweep_wall_ms = pool.last_sweep_wall_ms();
+  std::printf(
+      "\nsweep: %zu points, %.0f ms wall (sum of points %.0f ms, pool "
+      "speedup %.2fx on %zu threads)\n",
+      results.size(), sweep_wall_ms, points_wall_ms,
+      sweep_wall_ms > 0 ? points_wall_ms / sweep_wall_ms : 0.0,
+      pool.threads());
+
+  if (opts.out != "-") {
+    runner::BenchJsonMeta meta;
+    meta.point_set = opts.reduced ? "reduced" : "full";
+    meta.threads = pool.threads();
+    meta.sweep_wall_ms = sweep_wall_ms;
+    std::ofstream out(opts.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+      return 2;
+    }
+    runner::write_bench_json(out, results, meta);
+    std::printf("wrote %s\n", opts.out.c_str());
+  }
+
+  int mismatches = 0;
+  if (opts.check_digests) {
+    mismatches = compare_against_serial(points, results);
+  }
+  return (failed || mismatches) ? 1 : 0;
+}

@@ -1,5 +1,6 @@
 #include "apps/cluster.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -10,11 +11,16 @@ namespace acc::apps {
 
 namespace {
 
-/// Index of this cluster among all clusters constructed in the process —
-/// used to give each one a distinct ACC_TRACE output file.
+/// Trace-file numbering for ACC_TRACE output.  Process-wide and atomic:
+/// concurrent SimCluster teardowns (src/runner/ sweeps) each claim a
+/// distinct index without racing.  Indices are assigned in destruction
+/// order, start at 1 (which writes the bare <path>; later ones append
+/// ".2", ".3", ...), and never reset for the lifetime of the process —
+/// so filenames are unique but their order reflects teardown order, not
+/// construction order, when clusters are torn down concurrently.
 int next_trace_file_index() {
-  static int next = 0;
-  return ++next;
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 /// Forwards every message the fallback TCP plane completes into the card
@@ -29,6 +35,28 @@ sim::Process pump_fallback(proto::TcpStack& tcp, inic::InicCard& card) {
 }
 
 }  // namespace
+
+const TraceEnv& trace_env() {
+  // Captured exactly once, on the first SimCluster construction in the
+  // process (thread-safe magic static).  Every later construction and
+  // destruction reads this immutable snapshot, so concurrent cluster
+  // construction never calls getenv (which races with any setenv in the
+  // process), and the construction-time and destruction-time views of
+  // ACC_TRACE cannot disagree.
+  static const TraceEnv env = [] {
+    TraceEnv e;
+    if (const char* path = std::getenv("ACC_TRACE"); path && *path) {
+      e.trace_json = true;
+      e.trace_path = path;
+    }
+    if (const char* flag = std::getenv("ACC_TRACE_DIGEST");
+        flag && *flag && *flag != '0') {
+      e.trace_digest = true;
+    }
+    return e;
+  }();
+  return env;
+}
 
 const char* to_string(Interconnect ic) {
   switch (ic) {
@@ -53,13 +81,14 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
                        const ClusterOptions& opts)
     : ic_(ic), cal_(cal), opts_(opts) {
   // Environment-driven tracing (documented on tracer()): any existing
-  // example or benchmark can be traced without code changes.
-  if (const char* path = std::getenv("ACC_TRACE"); path && *path) {
+  // example or benchmark can be traced without code changes.  The
+  // environment is captured once per process (see trace_env()).
+  const TraceEnv& env = trace_env();
+  if (env.trace_json) {
     env_trace_json_ = true;
     eng_.tracer().enable();
   }
-  if (const char* flag = std::getenv("ACC_TRACE_DIGEST");
-      flag && *flag && *flag != '0') {
+  if (env.trace_digest) {
     env_trace_digest_ = true;
     // A tiny ring suffices: the digest covers every emitted record
     // regardless of retention.
@@ -216,7 +245,7 @@ sim::Process SimCluster::transfer(int src, int dst, Bytes size,
 
 SimCluster::~SimCluster() {
   if (env_trace_json_) {
-    std::string path = std::getenv("ACC_TRACE");
+    std::string path = trace_env().trace_path;
     const int index = next_trace_file_index();
     if (index > 1) path += "." + std::to_string(index);
     std::ofstream out(path);

@@ -5,6 +5,7 @@
 
 #include <any>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/node.hpp"
@@ -28,6 +29,24 @@ enum class Interconnect {
 
 const char* to_string(Interconnect ic);
 bool is_inic(Interconnect ic);
+
+/// Immutable snapshot of the trace-related environment variables
+/// (ACC_TRACE / ACC_TRACE_DIGEST), captured once per process at first
+/// use.  SimCluster construction *and* destruction both read this
+/// snapshot — never getenv directly — so concurrent cluster construction
+/// (src/runner/ sweeps) cannot race on environment access, and the two
+/// read sites cannot observe different values if the environment mutates
+/// mid-process.  Consequence: changing these variables after the first
+/// SimCluster has been constructed has no effect for the rest of the
+/// process.
+struct TraceEnv {
+  bool trace_json = false;     // ACC_TRACE set and non-empty
+  std::string trace_path;      // its value (Chrome JSON output path)
+  bool trace_digest = false;   // ACC_TRACE_DIGEST set and != "0"
+};
+
+/// The process-wide snapshot (thread-safe; captured on first call).
+const TraceEnv& trace_env();
 
 /// Robustness knobs for a cluster run (all off by default, which keeps
 /// the paper's healthy-fabric model and its trace digests bit-identical).
@@ -59,10 +78,14 @@ class SimCluster {
   sim::Engine& engine() { return eng_; }
 
   /// The engine's trace stream; enable() it before a run to record.
-  /// Also honours two environment variables (checked at construction):
+  /// Also honours two environment variables (captured once per process —
+  /// see trace_env() — and applied at construction):
   ///   ACC_TRACE=<path>    — record and write Chrome trace JSON to <path>
-  ///                         at destruction (later clusters in the same
-  ///                         process write <path>.2, <path>.3, ...);
+  ///                         at destruction.  The first cluster torn down
+  ///                         writes <path> itself; every later one
+  ///                         appends a process-wide atomic counter
+  ///                         (<path>.2, <path>.3, ...), assigned in
+  ///                         destruction order, never reused or reset;
   ///   ACC_TRACE_DIGEST=1  — record into a small ring and print
   ///                         "acc-trace-digest <hex>" to stderr at
   ///                         destruction (determinism checks).

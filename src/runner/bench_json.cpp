@@ -1,0 +1,111 @@
+#include "runner/bench_json.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace acc::runner {
+
+namespace {
+
+/// JSON string escaping for the characters our suite/point/param names
+/// can legally contain (quotes, backslashes, control characters).
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void write_point(std::ostream& os, const RunRecord& r,
+                 const std::string& indent) {
+  os << indent << "\"" << escaped(r.name) << "\": {\n";
+  os << indent << "  \"params\": {";
+  for (std::size_t i = 0; i < r.params.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << escaped(r.params[i].first) << "\": \""
+       << escaped(r.params[i].second) << "\"";
+  }
+  os << "},\n";
+  if (!r.ok) {
+    os << indent << "  \"error\": \"" << escaped(r.error) << "\",\n";
+    os << indent << "  \"wall_ms\": " << number(r.wall_ms) << "\n";
+    os << indent << "}";
+    return;
+  }
+  os << indent << "  \"sim_ms\": " << number(r.metrics.sim_time.as_millis())
+     << ",\n";
+  if (r.metrics.speedup != 0.0) {
+    os << indent << "  \"speedup\": " << number(r.metrics.speedup) << ",\n";
+  }
+  os << indent << "  \"digest\": \"" << digest_hex(r.metrics.digest)
+     << "\",\n";
+  os << indent << "  \"wall_ms\": " << number(r.wall_ms) << ",\n";
+  os << indent << "  \"events\": " << r.metrics.events << "\n";
+  os << indent << "}";
+}
+
+}  // namespace
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void write_bench_json(std::ostream& os, const std::vector<RunRecord>& results,
+                      const BenchJsonMeta& meta) {
+  os << "{\n";
+  os << "  \"schema\": \"acc-bench-results/v1\",\n";
+  os << "  \"point_set\": \"" << escaped(meta.point_set) << "\",\n";
+  os << "  \"threads\": " << meta.threads << ",\n";
+  os << "  \"sweep_wall_ms\": " << number(meta.sweep_wall_ms) << ",\n";
+  os << "  \"suites\": {\n";
+  // Group by suite, preserving submission order of both suites and
+  // points (results are already in submission order).
+  std::vector<std::string> suite_order;
+  for (const auto& r : results) {
+    bool seen = false;
+    for (const auto& s : suite_order) seen = seen || s == r.suite;
+    if (!seen) suite_order.push_back(r.suite);
+  }
+  for (std::size_t si = 0; si < suite_order.size(); ++si) {
+    const std::string& suite = suite_order[si];
+    os << "    \"" << escaped(suite) << "\": {\n";
+    os << "      \"points\": {\n";
+    bool first = true;
+    for (const auto& r : results) {
+      if (r.suite != suite) continue;
+      if (!first) os << ",\n";
+      first = false;
+      write_point(os, r, "        ");
+    }
+    os << "\n      }\n";
+    os << "    }" << (si + 1 < suite_order.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace acc::runner

@@ -1,0 +1,56 @@
+// Machine-readable benchmark output: BENCH_results.json.
+//
+// Schema (docs/BENCHMARKS.md is the authoritative description):
+//
+//   {
+//     "schema": "acc-bench-results/v1",
+//     "point_set": "full" | "reduced",
+//     "threads": <pool size>,
+//     "sweep_wall_ms": <whole-sweep wall clock>,
+//     "suites": {
+//       "<suite>": {
+//         "points": {
+//           "<point name>": {
+//             "params":  { "<key>": "<value>", ... },
+//             "sim_ms":  <simulated time, ms>,
+//             "speedup": <vs serial baseline; omitted when n/a>,
+//             "digest":  "<16-hex-digit trace digest>",
+//             "wall_ms": <point wall clock, ms>,
+//             "events":  <engine events executed>
+//           }, ...
+//         }
+//       }, ...
+//     }
+//   }
+//
+// Digests are hex *strings* because a 64-bit value does not survive a
+// round-trip through JSON numbers.  Suites, points, and params keep the
+// submission order of the sweep, which SweepRunner guarantees is
+// deterministic — so two runs of the same point set produce
+// byte-identical files apart from the wall-clock fields.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace acc::runner {
+
+struct BenchJsonMeta {
+  std::string point_set = "full";
+  std::size_t threads = 1;
+  double sweep_wall_ms = 0.0;
+};
+
+/// Serializes sweep results grouped by suite (submission order).  Failed
+/// points are emitted with an "error" field instead of metrics so a
+/// trajectory never silently loses a point.
+void write_bench_json(std::ostream& os, const std::vector<RunRecord>& results,
+                      const BenchJsonMeta& meta);
+
+/// 16-hex-digit lowercase rendering used for the "digest" field.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace acc::runner

@@ -1,0 +1,223 @@
+#include "runner/bench_points.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "apps/cluster.hpp"
+#include "apps/fft_app.hpp"
+#include "apps/sort_app.hpp"
+#include "core/experiment.hpp"
+#include "model/calibration.hpp"
+#include "model/fft_model.hpp"
+#include "model/sort_model.hpp"
+
+namespace acc::runner {
+
+namespace {
+
+/// Machine-friendly interconnect names for point names / JSON params
+/// (to_string() is the human form, with spaces and parentheses).
+const char* slug(apps::Interconnect ic) {
+  switch (ic) {
+    case apps::Interconnect::kFastEthernetTcp: return "fast_ethernet";
+    case apps::Interconnect::kGigabitTcp: return "gige";
+    case apps::Interconnect::kInicIdeal: return "inic_ideal";
+    case apps::Interconnect::kInicPrototype: return "inic_prototype";
+  }
+  return "?";
+}
+
+std::string num(std::size_t v) { return std::to_string(v); }
+
+/// Fills the digest/event fields every traced point reports.
+void capture_run(apps::SimCluster& cluster, RunMetrics& m) {
+  m.digest = cluster.tracer().digest();
+  m.trace_records = cluster.tracer().records_emitted();
+  m.events = cluster.engine().events_executed();
+}
+
+RunMetrics fft_sim_metrics(apps::Interconnect ic, std::size_t n,
+                           std::size_t p) {
+  const Time serial = core::serial_fft_total(n);
+  apps::SimCluster cluster(p, ic);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  const auto r = apps::run_parallel_fft(cluster, n, opts);
+  RunMetrics m;
+  m.sim_time = r.total;
+  m.speedup = serial / r.total;
+  m.counters = {{"compute_ns", r.compute.as_nanos()},
+                {"transpose_ns", r.transpose.as_nanos()}};
+  capture_run(cluster, m);
+  return m;
+}
+
+RunMetrics sort_sim_metrics(apps::Interconnect ic, std::size_t keys,
+                            std::size_t p) {
+  const Time serial = core::serial_sort_total(keys);
+  apps::SimCluster cluster(p, ic);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::SortRunOptions opts;
+  opts.verify = false;
+  const auto r = apps::run_parallel_sort(cluster, keys, opts);
+  RunMetrics m;
+  m.sim_time = r.total;
+  m.speedup = serial / r.total;
+  m.counters = {{"count_sort_ns", r.count_sort.as_nanos()},
+                {"bucket_phase1_ns", r.bucket_phase1.as_nanos()},
+                {"bucket_phase2_ns", r.bucket_phase2.as_nanos()},
+                {"redistribution_ns", r.redistribution.as_nanos()}};
+  capture_run(cluster, m);
+  return m;
+}
+
+/// Sort run under a modified calibration (ablations).  No speedup — the
+/// serial baseline of a non-default calibration is not what the ablation
+/// compares against (each sweep is self-relative).
+RunMetrics sort_ablation_metrics(const model::Calibration& cal,
+                                 std::size_t keys, std::size_t p) {
+  apps::SimCluster cluster(p, apps::Interconnect::kInicIdeal, cal);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::SortRunOptions opts;
+  opts.verify = false;
+  const auto r = apps::run_parallel_sort(cluster, keys, opts);
+  RunMetrics m;
+  m.sim_time = r.total;
+  m.counters = {{"redistribution_ns", r.redistribution.as_nanos()}};
+  capture_run(cluster, m);
+  return m;
+}
+
+RunMetrics transpose_metrics(std::size_t n, std::size_t p) {
+  model::FftAnalyticModel fft_model;
+  const Time host_compute = fft_model.host_transpose_compute_time(n, p);
+  const Time inic = fft_model.inic_transpose_time(n, p);
+  const Bytes partition = fft_model.partition_size(n, p);
+  apps::SimCluster cluster(p, apps::Interconnect::kGigabitTcp);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  apps::FftRunOptions opts;
+  opts.verify = false;
+  const auto r = apps::run_parallel_fft(cluster, n, opts);
+  const Time comm = p == 1 ? Time::zero() : r.transpose - host_compute;
+  RunMetrics m;
+  m.sim_time = r.total;
+  m.counters = {{"nic_comm_ns", comm.as_nanos()},
+                {"nic_compute_ns", host_compute.as_nanos()},
+                {"inic_transpose_ns", inic.as_nanos()},
+                {"partition_bytes",
+                 static_cast<std::int64_t>(partition.count())}};
+  capture_run(cluster, m);
+  return m;
+}
+
+}  // namespace
+
+std::vector<RunPoint> figure_sweep_points(bool reduced) {
+  std::vector<RunPoint> points;
+
+  const std::vector<std::size_t> procs =
+      reduced ? std::vector<std::size_t>{1, 2, 4}
+              : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  const std::vector<std::size_t> fft_sizes =
+      reduced ? std::vector<std::size_t>{64}
+              : std::vector<std::size_t>{256, 512};
+  const std::size_t sort_keys = reduced ? (std::size_t{1} << 16)
+                                        : (std::size_t{1} << 25);
+  const std::size_t ablation_keys = reduced ? (std::size_t{1} << 16)
+                                            : (std::size_t{1} << 24);
+  const std::size_t ablation_p = reduced ? 4 : 8;
+
+  // Figure 8(a): FFT speedup across the three interconnect families.
+  for (auto ic : {apps::Interconnect::kInicPrototype,
+                  apps::Interconnect::kFastEthernetTcp,
+                  apps::Interconnect::kGigabitTcp}) {
+    for (std::size_t n : fft_sizes) {
+      for (std::size_t p : procs) {
+        points.push_back(RunPoint{
+            "fig8a_fft_sim",
+            std::string(slug(ic)) + "/n=" + num(n) + "/P=" + num(p),
+            {{"interconnect", slug(ic)}, {"n", num(n)}, {"P", num(p)}},
+            [ic, n, p] { return fft_sim_metrics(ic, n, p); }});
+      }
+    }
+  }
+
+  // Figure 8(b): sort speedup, prototype vs GigE vs ideal INIC.
+  for (auto ic : {apps::Interconnect::kInicPrototype,
+                  apps::Interconnect::kGigabitTcp,
+                  apps::Interconnect::kInicIdeal}) {
+    for (std::size_t p : procs) {
+      points.push_back(RunPoint{
+          "fig8b_sort_sim",
+          std::string(slug(ic)) + "/keys=" + num(sort_keys) + "/P=" + num(p),
+          {{"interconnect", slug(ic)},
+           {"keys", num(sort_keys)},
+           {"P", num(p)}},
+          [ic, sort_keys, p] { return sort_sim_metrics(ic, sort_keys, p); }});
+    }
+  }
+
+  // Figure 4(b): transpose decomposition (GigE, largest FFT size).
+  const std::size_t decomp_n = fft_sizes.back();
+  for (std::size_t p : procs) {
+    if (decomp_n % p != 0) continue;
+    points.push_back(RunPoint{
+        "fig4b_transpose",
+        "gige/n=" + num(decomp_n) + "/P=" + num(p),
+        {{"interconnect", "gige"}, {"n", num(decomp_n)}, {"P", num(p)}},
+        [decomp_n, p] { return transpose_metrics(decomp_n, p); }});
+  }
+
+  // Figure 5(a): sort component times (GigE).
+  for (std::size_t p : procs) {
+    points.push_back(RunPoint{
+        "fig5a_sort_components",
+        "gige/keys=" + num(sort_keys) + "/P=" + num(p),
+        {{"interconnect", "gige"}, {"keys", num(sort_keys)}, {"P", num(p)}},
+        [sort_keys, p] {
+          return sort_sim_metrics(apps::Interconnect::kGigabitTcp, sort_keys,
+                                  p);
+        }});
+  }
+
+  // Ablation: INIC packet size (Section 4.2 — expected nearly flat).
+  const std::vector<std::uint64_t> packets =
+      reduced ? std::vector<std::uint64_t>{256, 1024, 4096}
+              : std::vector<std::uint64_t>{256, 512, 1024, 2048, 4096};
+  for (std::uint64_t packet : packets) {
+    model::Calibration cal = model::default_calibration();
+    cal.inic_packet = Bytes(packet);
+    points.push_back(RunPoint{
+        "ablation_packet_size",
+        "packet=" + std::to_string(packet) + "/P=" + num(ablation_p),
+        {{"packet_bytes", std::to_string(packet)},
+         {"keys", num(ablation_keys)},
+         {"P", num(ablation_p)}},
+        [cal, ablation_keys, ablation_p] {
+          return sort_ablation_metrics(cal, ablation_keys, ablation_p);
+        }});
+  }
+
+  // Ablation: card-to-host DMA threshold (Equation 15's 64 KB knee).
+  const std::vector<std::uint64_t> thresholds_kib =
+      reduced ? std::vector<std::uint64_t>{16, 64, 256}
+              : std::vector<std::uint64_t>{4, 16, 32, 64, 128, 256};
+  for (std::uint64_t kib : thresholds_kib) {
+    model::Calibration cal = model::default_calibration();
+    cal.dma_efficiency_threshold = Bytes::kib(kib);
+    points.push_back(RunPoint{
+        "ablation_dma_threshold",
+        "thr=" + std::to_string(kib) + "KiB/P=" + num(ablation_p),
+        {{"threshold_kib", std::to_string(kib)},
+         {"keys", num(ablation_keys)},
+         {"P", num(ablation_p)}},
+        [cal, ablation_keys, ablation_p] {
+          return sort_ablation_metrics(cal, ablation_keys, ablation_p);
+        }});
+  }
+
+  return points;
+}
+
+}  // namespace acc::runner

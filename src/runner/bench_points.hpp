@@ -1,0 +1,34 @@
+// The unified benchmark point set: every simulated figure/ablation sweep
+// from EXPERIMENTS.md re-expressed as runner::RunPoints, so one driver
+// (bench/bench_all) can execute them — serially or across a thread pool —
+// and emit a machine-readable BENCH_results.json trajectory.
+//
+// Each point runs a fresh SimCluster with tracing enabled (small ring;
+// the digest covers the full stream), so every point carries the run
+// digest that CI compares between pooled and serial execution.  Serial
+// speedup baselines come from core::serial_*_total, which memoizes one
+// serial run per problem size process-wide (thread-safe).
+//
+// Suites mirror the standalone bench binaries they subsume (analytic
+// closed-form columns stay with those binaries — they are free to
+// compute and carry no digest):
+//   fig8a_fft_sim          FFT speedup, 3 interconnects × 2 sizes × P
+//   fig8b_sort_sim         sort speedup, 3 interconnects × P
+//   fig4b_transpose        transpose decomposition vs partition (GigE)
+//   fig5a_sort_components  sort component times (GigE)
+//   ablation_packet_size   INIC packet-size sweep (sort)
+//   ablation_dma_threshold card-to-host DMA threshold sweep (sort)
+#pragma once
+
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace acc::runner {
+
+/// Builds the full sweep (`reduced` = false: the exact point grid the
+/// EXPERIMENTS.md tables plot) or a reduced CI-sized grid (smaller
+/// problems, P <= 4) that exercises every suite in seconds.
+std::vector<RunPoint> figure_sweep_points(bool reduced);
+
+}  // namespace acc::runner

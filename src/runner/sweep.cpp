@@ -1,0 +1,77 @@
+#include "runner/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace acc::runner {
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+RunRecord execute(const RunPoint& point) {
+  RunRecord rec;
+  rec.suite = point.suite;
+  rec.name = point.name;
+  rec.params = point.params;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rec.metrics = point.body();
+    rec.ok = true;
+  } catch (const std::exception& e) {
+    rec.error = e.what();
+  } catch (...) {
+    rec.error = "unknown exception";
+  }
+  rec.wall_ms = wall_ms_since(start);
+  return rec;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+std::vector<RunRecord> SweepRunner::run(
+    const std::vector<RunPoint>& points) const {
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<RunRecord> results(points.size());
+
+  const std::size_t workers = std::min(threads_, points.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      results[i] = execute(points[i]);
+    }
+    last_wall_ms_ = wall_ms_since(sweep_start);
+    return results;
+  }
+
+  // Work queue: a shared claim index.  Each worker claims the next
+  // unstarted point and writes its record into the submission-order
+  // slot, so completion order never shows in the output.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      results[i] = execute(points[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  last_wall_ms_ = wall_ms_since(sweep_start);
+  return results;
+}
+
+}  // namespace acc::runner

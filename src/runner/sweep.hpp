@@ -1,0 +1,96 @@
+// Parallel sweep execution for independent simulator runs.
+//
+// Every figure and ablation in EXPERIMENTS.md is a sweep over
+// (interconnect × P × problem size × seed), and each point is an
+// independent single-threaded SimCluster run that is a pure function of
+// its configuration (docs/TRACING.md).  SweepRunner exploits exactly
+// that: a fixed-size thread pool pulls named RunPoints off a work queue
+// and executes them concurrently, while the aggregated results keep the
+// *submission* order — so output (tables, BENCH_results.json, digests)
+// is byte-identical no matter how the pool interleaved the work.
+//
+// The contract a RunPoint body must honour is the simulator's own
+// determinism contract plus thread-confinement: everything the body
+// touches is either owned by the run (its SimCluster / Engine / Tracer)
+// or immutable process-wide state (default_calibration(), the captured
+// trace environment in apps/cluster.cpp).  tests/runner_test.cpp pins
+// this down by asserting serial and pooled executions of the same
+// points produce identical digests and counters, and CI runs that test
+// under ThreadSanitizer (ACC_SANITIZE=thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace acc::runner {
+
+/// What one executed point reports back.  `sim_time` is simulated time;
+/// wall clock is measured by the runner, not the body.  `digest` is the
+/// run's trace digest when the body enabled tracing (0 otherwise), and
+/// `counters` an optional flat snapshot of the run's counter registry —
+/// both exist so a pooled run can be checked bit-for-bit against a
+/// serial run of the same point.
+struct RunMetrics {
+  Time sim_time = Time::zero();
+  double speedup = 0.0;            // vs the suite's serial baseline; 0 = n/a
+  std::uint64_t digest = 0;        // trace digest (0 when untraced)
+  std::uint64_t trace_records = 0; // records behind the digest
+  std::uint64_t events = 0;        // engine events executed
+  /// (name, value) pairs in a body-chosen, deterministic order; used for
+  /// extra table columns and the serial-vs-pooled counter comparison.
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+};
+
+/// One named unit of work in a sweep.  `params` is ordered (it becomes
+/// the JSON "params" object verbatim); `name` must be unique within its
+/// suite since suite/name addresses the point in BENCH_results.json.
+struct RunPoint {
+  std::string suite;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::function<RunMetrics()> body;
+};
+
+/// A completed point: its identity, its metrics, and how the execution
+/// went.  `wall_ms` is the body's wall-clock time as measured around the
+/// call (informational only — it never feeds a digest).
+struct RunRecord {
+  std::string suite;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  RunMetrics metrics;
+  double wall_ms = 0.0;
+  bool ok = false;
+  std::string error;  // what() of the escaped exception when !ok
+};
+
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency() (min 1).
+  /// 1 executes inline on the calling thread (no pool), which is the
+  /// reference ordering the pooled mode must reproduce.
+  explicit SweepRunner(std::size_t threads = 0);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Executes every point and returns results in submission order:
+  /// result[i] always corresponds to points[i], regardless of which
+  /// pool thread finished first.  A body that throws marks its record
+  /// !ok and carries the message; it never aborts the sweep.
+  std::vector<RunRecord> run(const std::vector<RunPoint>& points) const;
+
+  /// Total wall-clock milliseconds of the last run() (the sweep, not
+  /// the sum of its points — the ratio sum/total is the pool speedup).
+  double last_sweep_wall_ms() const { return last_wall_ms_; }
+
+ private:
+  std::size_t threads_ = 1;
+  mutable double last_wall_ms_ = 0.0;
+};
+
+}  // namespace acc::runner
