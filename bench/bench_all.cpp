@@ -21,6 +21,7 @@
 //
 // Every point is digest-deterministic, so the JSON (wall-clock fields
 // aside) is byte-identical across runs and thread counts.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -76,7 +77,8 @@ void print_suite_tables(const std::vector<runner::RunRecord>& results) {
   }
   for (const auto& suite : suites) {
     print_banner(suite);
-    Table table({"point", "sim (ms)", "speedup", "digest", "wall (ms)"});
+    Table table(
+        {"point", "sim (ms)", "speedup", "digest", "wall (ms)", "Mev/s"});
     for (const auto& r : results) {
       if (r.suite != suite) continue;
       table.row().add(r.name);
@@ -92,6 +94,11 @@ void print_suite_tables(const std::vector<runner::RunRecord>& results) {
         table.add(runner::digest_hex(r.metrics.digest));
       }
       table.add(r.wall_ms, 1);
+      if (r.events_per_sec() > 0.0) {
+        table.add(r.events_per_sec() / 1e6, 2);
+      } else {
+        table.skip();
+      }
     }
     table.print();
   }
@@ -158,8 +165,12 @@ int main(int argc, char** argv) {
 
   int failed = 0;
   double points_wall_ms = 0.0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_event_ns = 0;
   for (const auto& r : results) {
     points_wall_ms += r.wall_ms;
+    total_events += r.metrics.events;
+    total_event_ns += r.wall_ns;
     if (!r.ok) {
       ++failed;
       std::fprintf(stderr, "FAILED %s/%s: %s\n", r.suite.c_str(),
@@ -173,6 +184,12 @@ int main(int argc, char** argv) {
       results.size(), sweep_wall_ms, points_wall_ms,
       sweep_wall_ms > 0 ? points_wall_ms / sweep_wall_ms : 0.0,
       pool.threads());
+  if (total_event_ns > 0) {
+    std::printf("engine: %llu events executed, %.2f M events/sec per thread\n",
+                static_cast<unsigned long long>(total_events),
+                static_cast<double>(total_events) * 1e3 /
+                    static_cast<double>(total_event_ns));
+  }
 
   if (opts.out != "-") {
     runner::BenchJsonMeta meta;

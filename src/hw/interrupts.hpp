@@ -13,10 +13,10 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 
 #include "common/units.hpp"
 #include "hw/cpu.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 
 namespace acc::hw {
@@ -31,8 +31,11 @@ class InterruptCoalescer {
  public:
   /// `deliver` runs when an interrupt's CPU service completes, with the
   /// number of frames the interrupt covered.
+  /// `deliver` is an InlineFunction, so the typical capture (a NIC
+  /// pointer or two) rides in the coalescer itself — one fewer
+  /// allocation per IRQ wiring and none at fire time.
   InterruptCoalescer(sim::Engine& eng, Cpu& cpu, const InterruptConfig& cfg,
-                     std::function<void(std::size_t)> deliver)
+                     sim::InlineFunction<void(std::size_t)> deliver)
       : eng_(eng), cpu_(cpu), cfg_(cfg), deliver_(std::move(deliver)) {}
 
   /// Signals one received frame.  May fire an interrupt immediately
@@ -83,7 +86,7 @@ class InterruptCoalescer {
   sim::Engine& eng_;
   Cpu& cpu_;
   InterruptConfig cfg_;
-  std::function<void(std::size_t)> deliver_;
+  sim::InlineFunction<void(std::size_t)> deliver_;
   std::size_t pending_ = 0;
   std::uint64_t fired_ = 0;
   std::uint64_t timeout_generation_ = 0;

@@ -199,11 +199,16 @@ void InicCard::track_outstanding(int dst, const net::Frame& frame) {
 }
 
 void InicCard::arm_retransmit_timer(int dst) {
+  cancel_retransmit_timer(dst);  // at most one armed timer per peer
   const std::uint64_t generation = ++retransmit_generation_[dst];
-  node_.engine().schedule(effective_retransmit_timeout(dst),
-                          [this, dst, generation] {
-    check_retransmit(dst, generation);
-  });
+  retransmit_timers_[dst] = node_.engine().schedule_cancelable(
+      effective_retransmit_timeout(dst),
+      [this, dst, generation] { check_retransmit(dst, generation); });
+}
+
+void InicCard::cancel_retransmit_timer(int dst) {
+  auto it = retransmit_timers_.find(dst);
+  if (it != retransmit_timers_.end()) it->second.cancel();
 }
 
 Time InicCard::effective_retransmit_timeout(int dst) const {
@@ -225,6 +230,7 @@ void InicCard::declare_peer_unreachable(int dst) {
   const std::size_t abandoned =
       it == outstanding_.end() ? 0 : it->second.size();
   if (it != outstanding_.end()) it->second.clear();
+  cancel_retransmit_timer(dst);
   unreachable_peers_.insert(dst);
   peer_unreachable_.add(eng.now(), 1);
   tracer().instant(trace::Category::kInic, node_.id(),
@@ -311,8 +317,16 @@ void InicCard::deliver(const net::Frame& frame) {
     // retransmission backoff resets.
     retry_rounds_[frame.src] = 0;
     credits_for(frame.src).release();
-    if (cfg_.hw_retransmit && !it->second.empty()) {
-      arm_retransmit_timer(frame.src);
+    if (cfg_.hw_retransmit) {
+      // Cancel-on-ack: the credit invalidates the armed timer.  While
+      // bursts remain outstanding a fresh timer is armed; once the queue
+      // drains the heap holds nothing for this peer — an idle card
+      // schedules zero defensive events.
+      if (it->second.empty()) {
+        cancel_retransmit_timer(frame.src);
+      } else {
+        arm_retransmit_timer(frame.src);
+      }
     }
     return;
   }

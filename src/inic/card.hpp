@@ -209,6 +209,10 @@ class InicCard : public net::Endpoint {
   /// retransmission.
   void track_outstanding(int dst, const net::Frame& frame);
   void arm_retransmit_timer(int dst);
+  /// Cancel-on-ack: removes the pending go-back-N timer to `dst` from
+  /// the event heap (credit progress or giving up on the peer both
+  /// invalidate it).
+  void cancel_retransmit_timer(int dst);
   void check_retransmit(int dst, std::uint64_t generation);
   /// Current go-back-N timeout to `dst`, including consecutive-round
   /// backoff.
@@ -252,6 +256,7 @@ class InicCard : public net::Endpoint {
   // and peers given up on.
   std::map<int, std::deque<OutstandingBurst>> outstanding_;
   std::map<int, std::uint64_t> retransmit_generation_;
+  std::map<int, sim::TimerHandle> retransmit_timers_;
   std::map<int, std::uint32_t> retry_rounds_;
   std::set<int> unreachable_peers_;
 

@@ -128,8 +128,13 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
     // Wait for the cumulative ACK to cover this burst, or for the
     // retransmission timer.
     c.ack_event = std::make_unique<sim::Event>(eng);
+    // The timer is cancelable: a clean ACK removes it from the heap in
+    // on_ack() instead of leaving a stale no-op to fire after the
+    // transfer is done.  The generation check stays as the correctness
+    // backstop for a timeout and an ACK landing at the same instant.
     const std::uint64_t generation = ++c.rto_generation;
-    eng.schedule(current_rto(c), [this, &c, generation] {
+    c.rto_timer = eng.schedule_cancelable(current_rto(c), [this, &c,
+                                                          generation] {
       if (generation == c.rto_generation && c.snd_una < c.snd_next) {
         sim::Engine& e = node_.engine();
         timeouts_.add(e.now(), 1);
@@ -229,12 +234,14 @@ void TcpStack::on_ack(const net::Frame& frame) {
   // backoff resets.
   c.backoff_shift = 0;
   if (c.snd_una >= c.snd_next) {
-    // Burst fully acknowledged: cancel the timer, take an RTT sample
-    // (skipped for retransmitted bursts — Karn's rule: the ACK is
-    // ambiguous between transmissions), and grow the window (double in
-    // slow start, +MSS in congestion avoidance), capped by the socket
-    // buffer.
+    // Burst fully acknowledged: cancel the timer (removing it from the
+    // event heap — after the workload no defensive timers linger), take
+    // an RTT sample (skipped for retransmitted bursts — Karn's rule:
+    // the ACK is ambiguous between transmissions), and grow the window
+    // (double in slow start, +MSS in congestion avoidance), capped by
+    // the socket buffer.
     ++c.rto_generation;
+    c.rto_timer.cancel();
     if (!c.burst_retransmitted) {
       update_rtt(c, node_.engine().now() - c.burst_sent_at);
     }

@@ -94,6 +94,7 @@ class TcpStack {
     Time srtt = Time::zero();        // smoothed RTT (zero = unmeasured)
     Time burst_sent_at = Time::zero();
     std::unique_ptr<sim::Event> ack_event;  // re-armed per burst
+    sim::TimerHandle rto_timer;      // canceled when the burst is ACKed
     // ---- receiver state ----
     std::uint64_t rcv_next = 0;      // next expected sequence byte
     std::uint64_t rcv_msg_remaining = 0;  // bytes left in current message

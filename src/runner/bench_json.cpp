@@ -49,7 +49,8 @@ void write_point(std::ostream& os, const RunRecord& r,
   os << "},\n";
   if (!r.ok) {
     os << indent << "  \"error\": \"" << escaped(r.error) << "\",\n";
-    os << indent << "  \"wall_ms\": " << number(r.wall_ms) << "\n";
+    os << indent << "  \"wall_ms\": " << number(r.wall_ms) << ",\n";
+    os << indent << "  \"wall_ns\": " << r.wall_ns << "\n";
     os << indent << "}";
     return;
   }
@@ -61,7 +62,10 @@ void write_point(std::ostream& os, const RunRecord& r,
   os << indent << "  \"digest\": \"" << digest_hex(r.metrics.digest)
      << "\",\n";
   os << indent << "  \"wall_ms\": " << number(r.wall_ms) << ",\n";
-  os << indent << "  \"events\": " << r.metrics.events << "\n";
+  os << indent << "  \"wall_ns\": " << r.wall_ns << ",\n";
+  os << indent << "  \"events\": " << r.metrics.events << ",\n";
+  os << indent << "  \"events_per_sec\": " << number(r.events_per_sec())
+     << "\n";
   os << indent << "}";
 }
 
@@ -77,7 +81,7 @@ std::string digest_hex(std::uint64_t digest) {
 void write_bench_json(std::ostream& os, const std::vector<RunRecord>& results,
                       const BenchJsonMeta& meta) {
   os << "{\n";
-  os << "  \"schema\": \"acc-bench-results/v1\",\n";
+  os << "  \"schema\": \"acc-bench-results/v2\",\n";
   os << "  \"point_set\": \"" << escaped(meta.point_set) << "\",\n";
   os << "  \"threads\": " << meta.threads << ",\n";
   os << "  \"sweep_wall_ms\": " << number(meta.sweep_wall_ms) << ",\n";

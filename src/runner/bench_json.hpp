@@ -3,7 +3,7 @@
 // Schema (docs/BENCHMARKS.md is the authoritative description):
 //
 //   {
-//     "schema": "acc-bench-results/v1",
+//     "schema": "acc-bench-results/v2",
 //     "point_set": "full" | "reduced",
 //     "threads": <pool size>,
 //     "sweep_wall_ms": <whole-sweep wall clock>,
@@ -16,18 +16,23 @@
 //             "speedup": <vs serial baseline; omitted when n/a>,
 //             "digest":  "<16-hex-digit trace digest>",
 //             "wall_ms": <point wall clock, ms>,
-//             "events":  <engine events executed>
+//             "wall_ns": <same measurement, integer nanoseconds>,
+//             "events":  <engine events executed>,
+//             "events_per_sec": <host dispatch throughput, events/wall>
 //           }, ...
 //         }
 //       }, ...
 //     }
 //   }
 //
-// Digests are hex *strings* because a 64-bit value does not survive a
-// round-trip through JSON numbers.  Suites, points, and params keep the
-// submission order of the sweep, which SweepRunner guarantees is
-// deterministic — so two runs of the same point set produce
-// byte-identical files apart from the wall-clock fields.
+// v2 adds the host-perf fields (wall_ns, events_per_sec) so every sweep
+// leaves a wall-clock trajectory to regress engine throughput against,
+// not just simulated times.  Digests are hex *strings* because a 64-bit
+// value does not survive a round-trip through JSON numbers.  Suites,
+// points, and params keep the submission order of the sweep, which
+// SweepRunner guarantees is deterministic — so two runs of the same
+// point set produce byte-identical files apart from the wall-clock
+// fields.
 #pragma once
 
 #include <iosfwd>

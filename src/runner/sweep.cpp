@@ -14,6 +14,12 @@ double wall_ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
+std::uint64_t wall_ns_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
 RunRecord execute(const RunPoint& point) {
   RunRecord rec;
   rec.suite = point.suite;
@@ -28,7 +34,8 @@ RunRecord execute(const RunPoint& point) {
   } catch (...) {
     rec.error = "unknown exception";
   }
-  rec.wall_ms = wall_ms_since(start);
+  rec.wall_ns = wall_ns_since(start);
+  rec.wall_ms = static_cast<double>(rec.wall_ns) / 1e6;
   return rec;
 }
 

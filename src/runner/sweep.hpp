@@ -57,16 +57,28 @@ struct RunPoint {
 };
 
 /// A completed point: its identity, its metrics, and how the execution
-/// went.  `wall_ms` is the body's wall-clock time as measured around the
-/// call (informational only — it never feeds a digest).
+/// went.  `wall_ns` is the body's wall-clock time as measured around the
+/// call, nanosecond resolution (`wall_ms` is the same measurement for
+/// human tables); together with `metrics.events` it yields the host-perf
+/// trajectory (events/sec) BENCH_results.json v2 records per point.
+/// Wall-clock fields are informational only — they never feed a digest.
 struct RunRecord {
   std::string suite;
   std::string name;
   std::vector<std::pair<std::string, std::string>> params;
   RunMetrics metrics;
   double wall_ms = 0.0;
+  std::uint64_t wall_ns = 0;
   bool ok = false;
   std::string error;  // what() of the escaped exception when !ok
+
+  /// Host events/sec this point achieved (0 when unmeasurable: a failed
+  /// point, an untimed record, or a body that executed no events).
+  double events_per_sec() const {
+    if (!ok || wall_ns == 0 || metrics.events == 0) return 0.0;
+    return static_cast<double>(metrics.events) * 1e9 /
+           static_cast<double>(wall_ns);
+  }
 };
 
 class SweepRunner {

@@ -8,24 +8,32 @@ namespace acc::sim {
 
 void Engine::schedule_at(Time when, Callback fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Scheduled{when, next_seq_++, std::move(fn)});
+  queue_.push(when, next_seq_++, std::move(fn));
+}
+
+TimerHandle Engine::schedule_cancelable_at(Time when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return TimerHandle(this,
+                     queue_.push_cancelable(when, next_seq_++, std::move(fn)));
 }
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via a copy of
-  // the wrapper before pop.  Events are small (a std::function), so the
-  // copy is cheap relative to event execution.
-  Scheduled ev = queue_.top();
-  queue_.pop();
+  // pop() moves the entry (callback included) out of the heap — no copy,
+  // no allocation on the dispatch path.
+  EventHeap::Entry ev = queue_.pop();
   assert(ev.when >= now_);
   now_ = ev.when;
   ++executed_;
-  // Dispatch hook: one instant per event, carrying the schedule-time
-  // sequence number, so the digest captures the exact (time, FIFO) order
-  // the engine executed.  Pure observation — never perturbs the queue.
-  tracer_.instant(trace::Category::kEngine, -1, "engine/dispatch", now_,
-                  static_cast<std::int64_t>(ev.seq));
+  if (tracer_.enabled()) {
+    // Dispatch hook: one instant per event, carrying the schedule-time
+    // sequence number, so the digest captures the exact (time, FIFO)
+    // order the engine executed.  Pure observation — never perturbs the
+    // queue — and gated here so disabled-trace runs skip even the
+    // argument setup.
+    tracer_.instant(trace::Category::kEngine, -1, "engine/dispatch", now_,
+                    static_cast<std::int64_t>(ev.seq));
+  }
   ev.fn();
   return true;
 }
@@ -46,11 +54,9 @@ Time Engine::run_until(Time deadline) {
     check_time_budget();
   }
   rethrow_if_failed();
-  if (now_ < deadline && queue_.empty()) {
-    // Idle until the deadline: advance the clock so callers observe the
-    // requested time even with nothing to do.
-    now_ = deadline;
-  } else if (now_ < deadline) {
+  if (now_ < deadline) {
+    // Idle-advance: whether the queue drained or only later events
+    // remain, the caller observes the requested time on return.
     now_ = deadline;
   }
   return now_;

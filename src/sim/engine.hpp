@@ -1,26 +1,37 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a priority queue of (time, sequence, callback) events.
-// Everything that happens in a simulated cluster — a DMA burst finishing,
-// a frame arriving at a switch port, a CPU finishing a compute phase — is
-// an event.  Processes (src/sim/process.hpp) are C++20 coroutines whose
-// suspensions are implemented as events, so the engine itself stays a
-// plain callback scheduler with deterministic FIFO tie-breaking.
+// The engine owns a 4-ary min-heap of (time, sequence, callback) events
+// (src/sim/event_heap.hpp).  Everything that happens in a simulated
+// cluster — a DMA burst finishing, a frame arriving at a switch port, a
+// CPU finishing a compute phase — is an event.  Processes
+// (src/sim/process.hpp) are C++20 coroutines whose suspensions are
+// implemented as events, so the engine itself stays a plain callback
+// scheduler with deterministic FIFO tie-breaking.
+//
+// The hot path is allocation-free: callbacks are move-only
+// InlineCallbacks (src/sim/callback.hpp) whose captures live inside the
+// heap entry, and dispatch moves the callback out of the heap instead of
+// copying it.  Defensive timers (retransmission timeouts that almost
+// always turn out unnecessary) use schedule_cancelable(), whose
+// TimerHandle removes the event from the heap in O(log n) instead of
+// letting it fire as a stale no-op.  docs/ENGINE.md covers the design.
 #pragma once
 
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "common/units.hpp"
+#include "sim/callback.hpp"
+#include "sim/event_heap.hpp"
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
 
 namespace acc::sim {
+
+class Engine;
 
 /// Thrown by Engine::run()/run_until() when a watchdog sim-time budget is
 /// exceeded: the run made "progress" in simulated time without ever
@@ -32,9 +43,34 @@ class WatchdogTimeout : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Names one cancelable event.  Default-constructed (or fired, or
+/// canceled, or superseded) handles are expired: cancel() on them is a
+/// no-op returning false, so callers can cancel unconditionally.
+/// Copyable — a handle is just a name; the event itself lives in the
+/// engine's heap.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// True while the event is still queued (it has neither fired nor been
+  /// canceled).
+  inline bool pending() const;
+
+  /// Removes the event from the queue without running it.  Returns false
+  /// (and does nothing) when the handle is expired.
+  inline bool cancel();
+
+ private:
+  friend class Engine;
+  TimerHandle(Engine* eng, EventHeap::Handle h) : eng_(eng), h_(h) {}
+
+  Engine* eng_ = nullptr;
+  EventHeap::Handle h_;
+};
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -49,6 +85,20 @@ class Engine {
 
   /// Schedules `fn` at an absolute simulated time (>= now).
   void schedule_at(Time when, Callback fn);
+
+  /// Like schedule()/schedule_at(), but returns a handle that can remove
+  /// the event before it fires.  Cancellation consumes the event without
+  /// dispatching it, so a canceled timer never appears in the trace; the
+  /// sequence counter advances identically either way, so runs whose
+  /// timers all fire (or are never canceled) keep bit-identical digests.
+  TimerHandle schedule_cancelable(Time delay, Callback fn) {
+    return schedule_cancelable_at(now_ + delay, std::move(fn));
+  }
+  TimerHandle schedule_cancelable_at(Time when, Callback fn);
+
+  /// Pre-grows the event heap for a run with a known event-count scale.
+  /// Pure capacity: dispatch order, digests, and counters are unaffected.
+  void reserve(std::size_t events) { queue_.reserve(events); }
 
   /// Runs one event.  Returns false when the queue is empty.
   bool step();
@@ -72,6 +122,9 @@ class Engine {
   /// Number of events executed so far (for tests and budget checks).
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Number of cancelable events removed before firing (telemetry).
+  std::uint64_t events_canceled() const { return canceled_; }
+
   /// Number of events currently pending.
   std::size_t pending() const { return queue_.size(); }
 
@@ -90,17 +143,13 @@ class Engine {
   trace::CounterRegistry& counters() { return counters_; }
 
  private:
-  struct Scheduled {
-    Time when;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  friend class TimerHandle;
+
+  bool cancel_event(EventHeap::Handle h) {
+    if (!queue_.cancel(h)) return false;
+    ++canceled_;
+    return true;
+  }
 
   void rethrow_if_failed();
   void check_time_budget();
@@ -109,10 +158,19 @@ class Engine {
   Time time_budget_ = Time::zero();  // zero = no watchdog
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::uint64_t canceled_ = 0;
+  EventHeap queue_;
   std::exception_ptr failure_;
   trace::Tracer tracer_;
   trace::CounterRegistry counters_{tracer_};
 };
+
+inline bool TimerHandle::pending() const {
+  return eng_ != nullptr && eng_->queue_.pending(h_);
+}
+
+inline bool TimerHandle::cancel() {
+  return eng_ != nullptr && eng_->cancel_event(h_);
+}
 
 }  // namespace acc::sim

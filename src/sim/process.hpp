@@ -54,7 +54,7 @@ class Process {
     std::exception_ptr exception;
     bool finished = false;
     bool started = false;                // body has begun executing
-    std::function<void()> on_finished;   // completion hook (Latch, tests)
+    InlineCallback on_finished;          // completion hook (Latch, tests)
 
     Process get_return_object() {
       return Process(Handle::from_promise(*this));
@@ -129,7 +129,7 @@ class Process {
   }
 
   /// Installs a completion hook; runs exactly once when the process ends.
-  void on_finished(std::function<void()> fn) {
+  void on_finished(InlineCallback fn) {
     assert(h_);
     if (h_.promise().finished) {
       fn();
@@ -171,8 +171,12 @@ struct Delay {
 
   bool await_ready() const { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    eng.tracer().span(trace::Category::kProcess, -1, "process/delay",
-                      eng.now(), duration);
+    // Gated at the call site (not just inside span()) so a disabled
+    // tracer skips the argument setup entirely on this hot awaitable.
+    if (eng.tracer().enabled()) {
+      eng.tracer().span(trace::Category::kProcess, -1, "process/delay",
+                        eng.now(), duration);
+    }
     eng.schedule(duration, [h] { h.resume(); });
   }
   void await_resume() const {}
@@ -185,8 +189,10 @@ struct DelayUntil {
 
   bool await_ready() const { return when <= eng.now(); }
   void await_suspend(std::coroutine_handle<> h) {
-    eng.tracer().span(trace::Category::kProcess, -1, "process/wait",
-                      eng.now(), when - eng.now());
+    if (eng.tracer().enabled()) {
+      eng.tracer().span(trace::Category::kProcess, -1, "process/wait",
+                        eng.now(), when - eng.now());
+    }
     eng.schedule_at(when, [h] { h.resume(); });
   }
   void await_resume() const {}
