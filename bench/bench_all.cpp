@@ -4,12 +4,14 @@
 // BENCH_results.json trajectory (schema: docs/BENCHMARKS.md).
 //
 // Usage:
-//   bench_all [--threads=N] [--points=full|reduced] [--out=PATH]
-//             [--check-digests] [--list]
+//   bench_all [--threads=N] [--points=full|reduced] [--suite=NAME]
+//             [--out=PATH] [--check-digests] [--list]
 //
 //   --threads=N       pool size (default: hardware concurrency; 1 = the
 //                     serial reference execution)
 //   --points=reduced  CI-sized grid — every suite, small problems
+//   --suite=NAME      run only the points of one suite (exact match,
+//                     e.g. fig_scaling_topology)
 //   --out=PATH        JSON output path (default BENCH_results.json;
 //                     "-" suppresses the file)
 //   --check-digests   after the pooled sweep, re-run every point on one
@@ -42,6 +44,7 @@ struct Options {
   bool reduced = false;
   bool check_digests = false;
   bool list = false;
+  std::string suite;  // empty = every suite
   std::string out = "BENCH_results.json";
 };
 
@@ -54,6 +57,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.reduced = true;
     } else if (arg == "--points=full") {
       opts.reduced = false;
+    } else if (arg.rfind("--suite=", 0) == 0) {
+      opts.suite = arg.substr(8);
     } else if (arg.rfind("--out=", 0) == 0) {
       opts.out = arg.substr(6);
     } else if (arg == "--check-digests") {
@@ -147,7 +152,18 @@ int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 2;
 
-  const auto points = runner::figure_sweep_points(opts.reduced);
+  auto points = runner::figure_sweep_points(opts.reduced);
+  if (!opts.suite.empty()) {
+    std::vector<runner::RunPoint> kept;
+    for (auto& p : points) {
+      if (p.suite == opts.suite) kept.push_back(std::move(p));
+    }
+    if (kept.empty()) {
+      std::fprintf(stderr, "no points in suite %s\n", opts.suite.c_str());
+      return 2;
+    }
+    points = std::move(kept);
+  }
   if (opts.list) {
     for (const auto& p : points) {
       std::printf("%s/%s\n", p.suite.c_str(), p.name.c_str());

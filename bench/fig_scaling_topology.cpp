@@ -1,0 +1,153 @@
+// Topology scaling sweep: the fig_scaling_topology suite on its own.
+//
+// Runs barrier + topology-aware broadcast/reduce (collectives.hpp) over
+// star, fat-tree, and torus fabrics (net/topology.hpp) at 64/256/1024
+// nodes, through the parallel SweepRunner, and reports per-link
+// congestion alongside the usual digest/time columns.  The full grid's
+// 1024-node fat-tree (k=16) and 3-D torus (8x8x16) points are the
+// largest simulated fabrics in the repo; --points=reduced keeps
+// P <= 256 for CI.
+//
+// Usage:
+//   fig_scaling_topology [--threads=N] [--points=full|reduced]
+//                        [--out=PATH] [--check-digests]
+//
+// Flags behave exactly as in bench_all (this grid is also reachable via
+// `bench_all --suite=fig_scaling_topology`).  The JSON schema is
+// docs/BENCHMARKS.md's v2; the per-link congestion summary rides in each
+// point's counters (switches, interior_links, link_frames_total,
+// link_frames_max, link_peak_queue_max_bytes, frames_forwarded,
+// frames_dropped).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/bench_json.hpp"
+#include "runner/bench_points.hpp"
+#include "runner/sweep.hpp"
+
+using namespace acc;
+
+namespace {
+
+struct Options {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool reduced = false;
+  bool check_digests = false;
+  std::string out = "BENCH_results.json";
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--points=reduced") {
+      opts.reduced = true;
+    } else if (arg == "--points=full") {
+      opts.reduced = false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out = arg.substr(6);
+    } else if (arg == "--check-digests") {
+      opts.check_digests = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t counter(const runner::RunRecord& r, const char* name) {
+  for (const auto& [key, value] : r.metrics.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  const auto points = runner::topology_scaling_points(opts.reduced);
+  runner::SweepRunner pool(opts.threads);
+  print_banner("fig_scaling_topology: " + std::to_string(points.size()) +
+               " points (" + std::string(opts.reduced ? "reduced" : "full") +
+               ") on " + std::to_string(pool.threads()) + " threads");
+  const auto results = pool.run(points);
+
+  Table table({"point", "shape", "sim (ms)", "switches", "links",
+               "link frames", "max/link", "peak queue (B)", "drops",
+               "digest"});
+  int failed = 0;
+  for (const auto& r : results) {
+    table.row().add(r.name);
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s: %s\n", r.name.c_str(),
+                   r.error.c_str());
+      table.add("ERROR: " + r.error);
+      for (int i = 0; i < 8; ++i) table.skip();
+      continue;
+    }
+    std::string shape;
+    for (const auto& [key, value] : r.params) {
+      if (key == "shape") shape = value;
+    }
+    table.add(shape)
+        .add(r.metrics.sim_time.as_millis(), 2)
+        .add(counter(r, "switches"))
+        .add(counter(r, "interior_links"))
+        .add(counter(r, "link_frames_total"))
+        .add(counter(r, "link_frames_max"))
+        .add(counter(r, "link_peak_queue_max_bytes"))
+        .add(counter(r, "frames_dropped"))
+        .add(runner::digest_hex(r.metrics.digest));
+  }
+  table.print();
+
+  if (opts.out != "-") {
+    runner::BenchJsonMeta meta;
+    meta.point_set = opts.reduced ? "reduced" : "full";
+    meta.threads = pool.threads();
+    meta.sweep_wall_ms = pool.last_sweep_wall_ms();
+    std::ofstream out(opts.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+      return 2;
+    }
+    runner::write_bench_json(out, results, meta);
+    std::printf("wrote %s\n", opts.out.c_str());
+  }
+
+  int mismatches = 0;
+  if (opts.check_digests) {
+    std::puts("\n== digest check: re-running every point serially ==");
+    runner::SweepRunner serial_runner(/*threads=*/1);
+    const auto serial = serial_runner.run(points);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = results[i];
+      const auto& b = serial[i];
+      const bool same = a.ok == b.ok && a.metrics.digest == b.metrics.digest &&
+                        a.metrics.sim_time == b.metrics.sim_time &&
+                        a.metrics.counters == b.metrics.counters;
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "DIGEST MISMATCH %s: pooled %s vs serial %s\n",
+                     a.name.c_str(),
+                     runner::digest_hex(a.metrics.digest).c_str(),
+                     runner::digest_hex(b.metrics.digest).c_str());
+      }
+    }
+    if (mismatches == 0) {
+      std::printf("digest check passed: %zu/%zu points reproduce their "
+                  "serial digests\n",
+                  serial.size(), serial.size());
+    }
+  }
+  return (failed || mismatches) ? 1 : 0;
+}

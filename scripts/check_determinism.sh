@@ -59,8 +59,11 @@ aslr_wrap() {
 # Digest probe: an example run that prints "acc-trace-digest <hex>" per
 # cluster via the ACC_TRACE_DIGEST environment hook.  $3 picks the probe
 # binary: quickstart exercises healthy runs, fault_injection a
-# fault-injected run (scripted storm + seeded loss chain), so the check
-# covers both halves of the determinism contract (docs/FAULTS.md).
+# fault-injected run (scripted storm + seeded loss chain), and
+# topology_demo multi-hop fabrics (fat-tree and torus routing, per-hop
+# queuing, an interior-link outage) — together covering the healthy,
+# faulted, and multi-hop parts of the determinism contract
+# (docs/FAULTS.md, docs/NETWORK.md).
 digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
   local mode="$1" loc="$2" probe="$3"
   aslr_wrap "$mode" env LC_ALL="$loc" ACC_TRACE_DIGEST=1 \
@@ -69,7 +72,7 @@ digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
 }
 
 fail=0
-for probe in quickstart fault_injection; do
+for probe in quickstart fault_injection topology_demo; do
   echo "== cross-environment digest comparison (examples/$probe) =="
   baseline="$(digests_of varied C "$probe")"
   if [[ -z "$baseline" ]]; then

@@ -101,6 +101,7 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
                           : cal.gigabit_line_rate;
   net_cfg.switch_latency = cal.switch_latency;
   net_cfg.port_buffer = cal.switch_port_buffer;
+  net_cfg.topology = opts_.topology;
   network_ = std::make_unique<net::Network>(eng_, n, net_cfg);
 
   hw::NodeConfig node_cfg;

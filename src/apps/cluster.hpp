@@ -62,6 +62,11 @@ struct ClusterOptions {
   /// card is in a reset window — or mid-transfer, when the card declares
   /// the peer unreachable.  INIC interconnects only; no effect otherwise.
   bool degraded_fallback = false;
+  /// Fabric shape (net/topology.hpp): single star by default — the
+  /// paper's 8-16 node prototype — or a fat-tree / torus for the scaling
+  /// studies.  Protocol timers (TCP RTO, INIC go-back-N) seed from the
+  /// fabric's per-path latency, so multi-hop topologies work unchanged.
+  net::TopologyConfig topology{};
 };
 
 /// A fully wired simulated cluster.  Exactly one of (nics+tcp) / cards is

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <numeric>
 #include <utility>
 
 #include "common/rng.hpp"
@@ -61,6 +62,14 @@ class Transport {
 
 Bytes vec_bytes(std::size_t elements) { return Bytes(elements * sizeof(double)); }
 
+/// Logical-rank -> physical-node permutation for the topology-aware
+/// variants; null means identity (the plain binomial collectives).
+using RankOrder = std::shared_ptr<const std::vector<std::size_t>>;
+
+std::size_t to_physical(const RankOrder& order, std::size_t logical) {
+  return order ? (*order)[logical] : logical;
+}
+
 DoubleVec make_vector(std::size_t elements, std::uint64_t seed) {
   Rng rng(seed);
   DoubleVec v(elements);
@@ -108,9 +117,12 @@ sim::Process barrier_rank(Transport t, std::size_t p_count, Time enter_delay,
 // ---------------------------------------------------------------------
 
 sim::Process bcast_rank(Transport t, std::size_t p_count,
-                        std::size_t elements, DoubleVec& data) {
+                        std::size_t elements, DoubleVec& data,
+                        RankOrder order = nullptr, std::size_t logical = 0) {
   sim::Engine& eng = t.cluster().engine();
-  const std::size_t me = t.me();
+  // The binomial mask logic runs over *logical* ranks; sends address the
+  // physical node holding the target rank.  Identity order: me == t.me().
+  const std::size_t me = order ? logical : t.me();
 
   std::size_t mask = 1;
   while (mask < p_count) {
@@ -127,8 +139,8 @@ sim::Process bcast_rank(Transport t, std::size_t p_count,
   while (mask > 0) {
     const std::size_t dst = me + mask;
     if ((me & (mask - 1)) == 0 && dst < p_count && !(me & mask)) {
-      sends.push_back(std::make_unique<sim::Process>(
-          t.send(dst, vec_bytes(elements), kBcastTag, data)));
+      sends.push_back(std::make_unique<sim::Process>(t.send(
+          to_physical(order, dst), vec_bytes(elements), kBcastTag, data)));
       sends.back()->start(eng);
     }
     mask >>= 1;
@@ -141,12 +153,13 @@ sim::Process bcast_rank(Transport t, std::size_t p_count,
 // ---------------------------------------------------------------------
 
 sim::Process reduce_steps(Transport& t, std::size_t p_count,
-                          std::size_t elements, DoubleVec& data) {
-  const std::size_t me = t.me();
+                          std::size_t elements, DoubleVec& data,
+                          RankOrder order = nullptr, std::size_t logical = 0) {
+  const std::size_t me = order ? logical : t.me();
   for (std::size_t mask = 1; mask < p_count; mask <<= 1) {
     if (me & mask) {
-      co_await t.send(me - mask, vec_bytes(elements), kReduceTag,
-                      std::move(data));
+      co_await t.send(to_physical(order, me - mask), vec_bytes(elements),
+                      kReduceTag, std::move(data));
       data.clear();
       break;
     }
@@ -161,8 +174,9 @@ sim::Process reduce_steps(Transport& t, std::size_t p_count,
 }
 
 sim::Process reduce_rank(Transport t, std::size_t p_count,
-                         std::size_t elements, DoubleVec& data) {
-  co_await reduce_steps(t, p_count, elements, data);
+                         std::size_t elements, DoubleVec& data,
+                         RankOrder order = nullptr, std::size_t logical = 0) {
+  co_await reduce_steps(t, p_count, elements, data, order, logical);
 }
 
 }  // namespace
@@ -201,16 +215,20 @@ CollectiveResult barrier(apps::SimCluster& cluster) {
   return result;
 }
 
-CollectiveResult broadcast(apps::SimCluster& cluster, std::size_t elements,
-                           std::uint64_t seed) {
+namespace {
+
+CollectiveResult run_broadcast(apps::SimCluster& cluster, std::size_t elements,
+                               std::uint64_t seed, RankOrder order) {
   const std::size_t p_count = cluster.size();
   const DoubleVec root_data = make_vector(elements, seed);
-  std::vector<DoubleVec> data(p_count);
-  data[0] = root_data;
+  std::vector<DoubleVec> data(p_count);  // indexed by physical node
+  data[to_physical(order, 0)] = root_data;
 
   sim::ProcessGroup group(cluster.engine());
   for (std::size_t p = 0; p < p_count; ++p) {
-    group.spawn(bcast_rank(Transport(cluster, p), p_count, elements, data[p]));
+    const std::size_t phys = to_physical(order, p);
+    group.spawn(bcast_rank(Transport(cluster, phys), p_count, elements,
+                           data[phys], order, p));
   }
   const Time total = group.join();
 
@@ -226,8 +244,8 @@ CollectiveResult broadcast(apps::SimCluster& cluster, std::size_t elements,
   return result;
 }
 
-CollectiveResult reduce(apps::SimCluster& cluster, std::size_t elements,
-                        std::uint64_t seed) {
+CollectiveResult run_reduce(apps::SimCluster& cluster, std::size_t elements,
+                            std::uint64_t seed, RankOrder order) {
   const std::size_t p_count = cluster.size();
   std::vector<DoubleVec> data(p_count);
   DoubleVec expected(elements, 0.0);
@@ -238,25 +256,27 @@ CollectiveResult reduce(apps::SimCluster& cluster, std::size_t elements,
 
   sim::ProcessGroup group(cluster.engine());
   for (std::size_t p = 0; p < p_count; ++p) {
-    group.spawn(
-        reduce_rank(Transport(cluster, p), p_count, elements, data[p]));
+    const std::size_t phys = to_physical(order, p);
+    group.spawn(reduce_rank(Transport(cluster, phys), p_count, elements,
+                            data[phys], order, p));
   }
   const Time total = group.join();
 
+  const DoubleVec& at_root = data[to_physical(order, 0)];
   CollectiveResult result;
   result.processors = p_count;
   result.interconnect = cluster.interconnect();
   result.payload = vec_bytes(elements);
   result.total = total;
-  result.verified = data[0].size() == elements;
+  result.verified = at_root.size() == elements;
   for (std::size_t i = 0; result.verified && i < elements; ++i) {
-    if (std::abs(data[0][i] - expected[i]) > 1e-9) result.verified = false;
+    if (std::abs(at_root[i] - expected[i]) > 1e-9) result.verified = false;
   }
   return result;
 }
 
-CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
-                           std::uint64_t seed) {
+CollectiveResult run_allreduce(apps::SimCluster& cluster, std::size_t elements,
+                               std::uint64_t seed, RankOrder order) {
   const std::size_t p_count = cluster.size();
   std::vector<DoubleVec> data(p_count);
   DoubleVec expected(elements, 0.0);
@@ -267,8 +287,9 @@ CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
 
   // Reduce to rank 0, then broadcast the sum back down the same tree.
   auto rank_proc = [&](std::size_t p) -> sim::Process {
-    Transport t(cluster, p);
-    co_await reduce_steps(t, p_count, elements, data[p]);
+    const std::size_t phys = to_physical(order, p);
+    Transport t(cluster, phys);
+    co_await reduce_steps(t, p_count, elements, data[phys], order, p);
     // Rebind tags for the broadcast half.
     sim::Engine& eng = cluster.engine();
     const std::size_t me = p;
@@ -277,7 +298,7 @@ CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
       if (me & mask) {
         proto::Message msg;
         co_await t.recv(kAllreduceBcastTag, msg);
-        data[p] = std::any_cast<DoubleVec>(std::move(msg.payload));
+        data[phys] = std::any_cast<DoubleVec>(std::move(msg.payload));
         break;
       }
       mask <<= 1;
@@ -287,8 +308,9 @@ CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
     while (mask > 0) {
       const std::size_t dst = me + mask;
       if ((me & (mask - 1)) == 0 && dst < p_count && !(me & mask)) {
-        sends.push_back(std::make_unique<sim::Process>(t.send(
-            dst, vec_bytes(elements), kAllreduceBcastTag, data[p])));
+        sends.push_back(std::make_unique<sim::Process>(
+            t.send(to_physical(order, dst), vec_bytes(elements),
+                   kAllreduceBcastTag, data[phys])));
         sends.back()->start(eng);
       }
       mask >>= 1;
@@ -319,6 +341,63 @@ CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
     }
   }
   return result;
+}
+
+}  // namespace
+
+CollectiveResult broadcast(apps::SimCluster& cluster, std::size_t elements,
+                           std::uint64_t seed) {
+  return run_broadcast(cluster, elements, seed, nullptr);
+}
+
+CollectiveResult reduce(apps::SimCluster& cluster, std::size_t elements,
+                        std::uint64_t seed) {
+  return run_reduce(cluster, elements, seed, nullptr);
+}
+
+CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
+                           std::uint64_t seed) {
+  return run_allreduce(cluster, elements, seed, nullptr);
+}
+
+std::vector<std::size_t> hop_ordered_ranks(apps::SimCluster& cluster,
+                                           std::size_t root) {
+  net::Network& net = cluster.network();
+  std::vector<std::size_t> order(cluster.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::swap(order[0], order[root]);
+  // Stable sort of the non-root tail keeps node-id order within equal
+  // hop counts — the permutation is a pure function of the topology.
+  std::stable_sort(order.begin() + 1, order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return net.hop_count(static_cast<int>(root),
+                                          static_cast<int>(a)) <
+                            net.hop_count(static_cast<int>(root),
+                                          static_cast<int>(b));
+                   });
+  return order;
+}
+
+CollectiveResult topology_broadcast(apps::SimCluster& cluster,
+                                    std::size_t elements, std::uint64_t seed) {
+  return run_broadcast(
+      cluster, elements, seed,
+      std::make_shared<const std::vector<std::size_t>>(
+          hop_ordered_ranks(cluster)));
+}
+
+CollectiveResult topology_reduce(apps::SimCluster& cluster,
+                                 std::size_t elements, std::uint64_t seed) {
+  return run_reduce(cluster, elements, seed,
+                    std::make_shared<const std::vector<std::size_t>>(
+                        hop_ordered_ranks(cluster)));
+}
+
+CollectiveResult topology_allreduce(apps::SimCluster& cluster,
+                                    std::size_t elements, std::uint64_t seed) {
+  return run_allreduce(cluster, elements, seed,
+                       std::make_shared<const std::vector<std::size_t>>(
+                           hop_ordered_ranks(cluster)));
 }
 
 CollectiveResult alltoall(apps::SimCluster& cluster, std::size_t elements,

@@ -65,6 +65,33 @@ CollectiveResult allreduce(apps::SimCluster& cluster, std::size_t elements,
 CollectiveResult alltoall(apps::SimCluster& cluster, std::size_t elements,
                           std::uint64_t seed = 4);
 
+// ---------------------------------------------------------------------
+// Topology-aware tree collectives.
+//
+// The binomial trees above pair ranks by id, which on a multi-hop fabric
+// (fat tree, torus — see net/topology.hpp) makes the largest subtrees
+// span the longest paths.  These variants lay the same binomial tree
+// over the ranks re-ordered by fabric hop distance from the root
+// (ties broken by node id — fully deterministic), so early tree edges
+// connect topologically close nodes and the deep-path hops carry the
+// smallest subtrees.  On a star the order is the identity and the
+// result is the plain binomial collective.
+// ---------------------------------------------------------------------
+
+/// Rank permutation used by the topology_* collectives: position i holds
+/// the physical node acting as logical rank i (root first).
+std::vector<std::size_t> hop_ordered_ranks(apps::SimCluster& cluster,
+                                           std::size_t root = 0);
+
+CollectiveResult topology_broadcast(apps::SimCluster& cluster,
+                                    std::size_t elements,
+                                    std::uint64_t seed = 1);
+CollectiveResult topology_reduce(apps::SimCluster& cluster,
+                                 std::size_t elements, std::uint64_t seed = 2);
+CollectiveResult topology_allreduce(apps::SimCluster& cluster,
+                                    std::size_t elements,
+                                    std::uint64_t seed = 3);
+
 /// Host CPU cost of combining `elements` doubles (one flop each plus a
 /// memory pass), used by the host reduce path and exposed for tests.
 Time host_combine_time(apps::SimCluster& cluster, std::size_t node,

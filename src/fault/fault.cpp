@@ -29,6 +29,29 @@ FaultInjector::FaultInjector(apps::SimCluster& cluster, FaultPlan plan)
   for (const auto& w : plan_.port_degrade) check_node(w.node, "port-degrade");
   for (const auto& w : plan_.buffer_shrink) check_node(w.node, "buffer-shrink");
   for (const auto& w : plan_.card_reset) check_node(w.node, "card-reset");
+  // Factor contracts are enforced here, at plan-arm time, so a bad plan
+  // fails loudly before the run instead of mid-simulation when the
+  // window opens.
+  for (const auto& w : plan_.port_degrade) {
+    if (!(w.rate_factor > 0.0) || w.rate_factor > 1.0) {
+      throw std::invalid_argument(
+          "FaultInjector: port-degrade rate_factor must be in (0, 1]");
+    }
+  }
+  for (const auto& w : plan_.buffer_shrink) {
+    if (!(w.buffer_factor >= 0.0) || w.buffer_factor > 1.0) {
+      throw std::invalid_argument(
+          "FaultInjector: buffer-shrink buffer_factor must be in [0, 1]");
+    }
+  }
+  for (const auto& w : plan_.interior_link_down) {
+    if (!cluster_.network().has_interior_link(w.switch_a, w.switch_b)) {
+      throw std::invalid_argument(
+          "FaultInjector: interior-link-down window names switches " +
+          std::to_string(w.switch_a) + " and " + std::to_string(w.switch_b) +
+          ", which share no fabric link");
+    }
+  }
   arm();
 }
 
@@ -111,6 +134,21 @@ void FaultInjector::arm() {
     eng.schedule_at(w.start + w.duration, [this, &net, w] {
       fire(w.node, "fault/buffer_restore", 0);
       net.set_port_buffer_factor(w.node, 1.0);
+    });
+  }
+
+  for (const auto& w : plan_.interior_link_down) {
+    eng.schedule_at(w.start, [this, &net, w] {
+      fire(-1, "fault/interior_link_down",
+           (static_cast<std::int64_t>(w.switch_a) << 32) |
+               static_cast<std::int64_t>(w.switch_b));
+      net.set_interior_link_state(w.switch_a, w.switch_b, false);
+    });
+    eng.schedule_at(w.start + w.duration, [this, &net, w] {
+      fire(-1, "fault/interior_link_up",
+           (static_cast<std::int64_t>(w.switch_a) << 32) |
+               static_cast<std::int64_t>(w.switch_b));
+      net.set_interior_link_state(w.switch_a, w.switch_b, true);
     });
   }
 

@@ -68,6 +68,18 @@ struct CardResetWindow {
   Time duration = Time::zero();  // how long the card is offline
 };
 
+/// Backbone outage: one switch-switch link of a multi-hop fabric goes
+/// dark in both directions (net/topology.hpp switch ids).  Frames in
+/// flight toward the failed hop are lost there; routing is static, so
+/// traffic whose deterministic path crosses the link keeps failing until
+/// the window closes (recovery is the protocols' job).
+struct InteriorLinkDownWindow {
+  int switch_a = 0;
+  int switch_b = 0;
+  Time start = Time::zero();
+  Time duration = Time::zero();
+};
+
 /// A scripted, seeded schedule of fault windows.  Build with the with_*
 /// helpers (chainable) or fill the vectors directly.
 struct FaultPlan {
@@ -78,6 +90,7 @@ struct FaultPlan {
   std::vector<PortDegradeWindow> port_degrade;
   std::vector<BufferShrinkWindow> buffer_shrink;
   std::vector<CardResetWindow> card_reset;
+  std::vector<InteriorLinkDownWindow> interior_link_down;
 
   FaultPlan& with_seed(std::uint64_t s) {
     seed = s;
@@ -110,10 +123,16 @@ struct FaultPlan {
     card_reset.push_back({node, start, duration});
     return *this;
   }
+  FaultPlan& with_interior_link_down(int switch_a, int switch_b, Time start,
+                                     Time duration) {
+    interior_link_down.push_back({switch_a, switch_b, start, duration});
+    return *this;
+  }
 
   bool empty() const {
     return link_down.empty() && burst_loss.empty() && corruption.empty() &&
-           port_degrade.empty() && buffer_shrink.empty() && card_reset.empty();
+           port_degrade.empty() && buffer_shrink.empty() &&
+           card_reset.empty() && interior_link_down.empty();
   }
 };
 

@@ -212,13 +212,30 @@ void InicCard::cancel_retransmit_timer(int dst) {
 }
 
 Time InicCard::effective_retransmit_timeout(int dst) const {
-  Time timeout = cfg_.retransmit_timeout;
+  // Path-aware floor: a credit cannot possibly return before a full
+  // burst reaches the peer and the credit frame crosses back, so the
+  // go-back-N timer must never undercut two such round trips over the
+  // *actual* route — including multi-hop serialization and degraded port
+  // rates the flat one_way_latency() constant knew nothing about.  On
+  // the single-star fabric the configured timeout dominates, preserving
+  // the historical timing.
+  const std::size_t packets =
+      (cfg_.burst.count() + cfg_.packet.count() - 1) / cfg_.packet.count();
+  const Bytes burst_wire =
+      net::burst_wire_size(cfg_.burst, packets, cfg_.per_packet_overhead);
+  const Time rtt =
+      network_.path_latency(node_.id(), dst, burst_wire) +
+      network_.path_latency(dst, node_.id(), Bytes(84));  // credit frame
+  Time timeout = std::max(cfg_.retransmit_timeout, rtt * 2.0);
+  // A floor above the configured cap would otherwise make backoff
+  // non-monotonic; the cap rises with it.
+  const Time cap = std::max(cfg_.retransmit_timeout_cap, timeout);
   const auto it = retry_rounds_.find(dst);
   const std::uint32_t rounds = it == retry_rounds_.end() ? 0 : it->second;
   for (std::uint32_t i = 0; i < rounds; ++i) {
     timeout = timeout * cfg_.retransmit_backoff;
-    if (timeout >= cfg_.retransmit_timeout_cap) {
-      return cfg_.retransmit_timeout_cap;
+    if (timeout >= cap) {
+      return cap;
     }
   }
   return timeout;

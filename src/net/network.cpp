@@ -2,13 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace acc::net {
+namespace {
 
-Network::Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
+// trace::Counter keeps the name as a const char*, so dynamically built
+// per-link names need stable storage.  The pool is process-wide (cheap:
+// one string per distinct link label across all runs) and locked because
+// SweepRunner constructs fabrics from several threads at once.
+const char* intern_counter_name(std::string name) {
+  static std::mutex mu;
+  static std::unordered_set<std::string> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  return pool.insert(std::move(name)).first->c_str();
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
     : eng_(eng),
       cfg_(cfg),
+      plan_(build_topology(cfg.topology, ports)),
       forwarded_(eng.counters().get(trace::Category::kNet, -1,
                                     "net/frames_forwarded")),
       dropped_(
@@ -20,61 +38,187 @@ Network::Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
       burst_dropped_(
           eng.counters().get(trace::Category::kNet, -1, "net/burst_drops")),
       corrupted_(
-          eng.counters().get(trace::Category::kNet, -1, "net/corrupted")) {
-  ports_.reserve(ports);
-  for (std::size_t p = 0; p < ports; ++p) {
-    Port port;
-    port.egress = std::make_unique<sim::FifoResource>(
-        eng, cfg.line_rate, "egress-" + std::to_string(p));
-    port.capacity = cfg.port_buffer;
-    ports_.push_back(std::move(port));
+          eng.counters().get(trace::Category::kNet, -1, "net/corrupted")),
+      corrupted_bytes_(eng.counters().get(trace::Category::kNet, -1,
+                                          "net/bytes_corrupted")) {
+  const bool single = plan_.switches.size() == 1;
+  switches_.reserve(plan_.switches.size());
+  for (std::size_t s = 0; s < plan_.switches.size(); ++s) {
+    const auto& spec = plan_.switches[s];
+    auto sw = std::make_unique<Switch>(static_cast<int>(s), spec.level,
+                                       spec.ports.size());
+    for (std::size_t p = 0; p < spec.ports.size(); ++p) {
+      auto& port = sw->out(p);
+      port.peer_switch = spec.ports[p].peer_switch;
+      port.host = spec.ports[p].host;
+      // The single-star fabric keeps the flat model's "egress-<port>"
+      // resource names so utilization reports read identically.
+      const std::string name =
+          single ? "egress-" + std::to_string(p)
+                 : "sw" + std::to_string(s) + "-p" + std::to_string(p);
+      port.egress =
+          std::make_unique<sim::FifoResource>(eng, cfg.line_rate, name);
+      port.capacity = cfg.port_buffer;
+      if (port.peer_switch >= 0) {
+        port.congestion = &eng.counters().get(
+            trace::Category::kNet, -1,
+            intern_counter_name("net/link/s" + std::to_string(s) + "-s" +
+                                std::to_string(port.peer_switch)));
+      }
+    }
+    switches_.push_back(std::move(sw));
   }
 }
 
-void Network::set_random_loss(double probability, std::uint64_t seed) {
+Switch::OutPort& Fabric::host_port(int node) {
+  const auto& attach = plan_.hosts.at(static_cast<std::size_t>(node));
+  return switches_[static_cast<std::size_t>(attach.sw)]->out(attach.port);
+}
+
+const Switch::OutPort& Fabric::host_port(int node) const {
+  const auto& attach = plan_.hosts.at(static_cast<std::size_t>(node));
+  return switches_[static_cast<std::size_t>(attach.sw)]->out(attach.port);
+}
+
+void Fabric::set_random_loss(double probability, std::uint64_t seed) {
   loss_probability_ = probability;
   loss_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
 }
 
-void Network::set_burst_loss(const fault::GilbertElliottParams& params,
-                             std::uint64_t seed) {
+void Fabric::set_burst_loss(const fault::GilbertElliottParams& params,
+                            std::uint64_t seed) {
   burst_loss_ = std::make_unique<fault::GilbertElliott>(params, seed);
 }
 
-void Network::clear_burst_loss() { burst_loss_.reset(); }
+void Fabric::clear_burst_loss() { burst_loss_.reset(); }
 
-void Network::set_corruption(double probability, std::uint64_t seed) {
+void Fabric::set_corruption(double probability, std::uint64_t seed) {
   corruption_probability_ = probability;
   corruption_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
 }
 
-void Network::set_link_state(int node, bool up) {
-  ports_.at(static_cast<std::size_t>(node)).link_up = up;
+void Fabric::set_link_state(int node, bool up) {
+  host_port(node).link_up = up;
 }
 
-void Network::set_port_rate_factor(int node, double factor) {
-  factor = std::clamp(factor, 1e-6, 1.0);
-  ports_.at(static_cast<std::size_t>(node))
-      .egress->set_rate(cfg_.line_rate * factor);
+void Fabric::set_interior_link_state(int sw_a, int sw_b, bool up) {
+  if (!has_interior_link(sw_a, sw_b)) {
+    throw std::invalid_argument(
+        "set_interior_link_state: switches are not adjacent");
+  }
+  const auto set_direction = [this, up](int from, int to) {
+    auto& sw = *switches_.at(static_cast<std::size_t>(from));
+    for (std::size_t p = 0; p < sw.port_count(); ++p) {
+      if (sw.out(p).peer_switch == to) sw.out(p).link_up = up;
+    }
+  };
+  set_direction(sw_a, sw_b);
+  set_direction(sw_b, sw_a);
 }
 
-void Network::set_port_buffer_factor(int node, double factor) {
+bool Fabric::has_interior_link(int sw_a, int sw_b) const {
+  if (sw_a < 0 || sw_b < 0 ||
+      static_cast<std::size_t>(sw_a) >= switches_.size() ||
+      static_cast<std::size_t>(sw_b) >= switches_.size()) {
+    return false;
+  }
+  const auto& sw = *switches_[static_cast<std::size_t>(sw_a)];
+  for (std::size_t p = 0; p < sw.port_count(); ++p) {
+    if (sw.out(p).peer_switch == sw_b) return true;
+  }
+  return false;
+}
+
+void Fabric::set_port_rate_factor(int node, double factor) {
+  // Documented contract: (0, 1].  A zero/negative (or NaN) factor is a
+  // caller bug, not a degraded link — reject it instead of silently
+  // running the port at a near-stalled 1e-6 of line rate.
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument(
+        "set_port_rate_factor: factor must be in (0, 1]");
+  }
+  factor = std::min(factor, 1.0);
+  auto& port = host_port(node);
+  port.rate_factor = factor;
+  // factor == 1 restores the exact nominal Bandwidth (no float round
+  // trip); any backlog queued at the old rate is re-timed at the new.
+  port.egress->set_rate_rescaled(factor == 1.0 ? cfg_.line_rate
+                                               : cfg_.line_rate * factor);
+}
+
+void Fabric::set_port_buffer_factor(int node, double factor) {
   factor = std::clamp(factor, 0.0, 1.0);
-  ports_.at(static_cast<std::size_t>(node)).capacity =
-      Bytes(static_cast<std::uint64_t>(
-          static_cast<double>(cfg_.port_buffer.count()) * factor));
+  host_port(node).capacity = Bytes(static_cast<std::uint64_t>(
+      static_cast<double>(cfg_.port_buffer.count()) * factor));
 }
 
-void Network::attach(int node, Endpoint& endpoint) {
-  auto& port = ports_.at(static_cast<std::size_t>(node));
+void Fabric::attach(int node, Endpoint& endpoint) {
+  auto& port = host_port(node);
   assert(port.endpoint == nullptr && "port already attached");
   port.endpoint = &endpoint;
 }
 
-void Network::inject(Frame frame) {
-  auto& port = ports_.at(static_cast<std::size_t>(frame.dst));
-  if (port.endpoint == nullptr) {
-    throw std::logic_error("Network::inject: destination port not attached");
+std::vector<int> Fabric::route(int src, int dst) const {
+  std::vector<int> path;
+  int sw = plan_.hosts.at(static_cast<std::size_t>(src)).sw;
+  for (;;) {
+    path.push_back(sw);
+    const auto& port = switches_[static_cast<std::size_t>(sw)]->out(
+        plan_.port_to(sw, dst));
+    if (port.host >= 0) break;
+    sw = port.peer_switch;
+  }
+  return path;
+}
+
+Time Fabric::path_latency(int src, int dst, Bytes wire) const {
+  Time total = cfg_.link_latency;  // source device -> first switch
+  int sw = plan_.hosts.at(static_cast<std::size_t>(src)).sw;
+  for (;;) {
+    total += cfg_.switch_latency;
+    const auto& port = switches_[static_cast<std::size_t>(sw)]->out(
+        plan_.port_to(sw, dst));
+    if (wire > Bytes::zero()) {
+      total += transfer_time(wire, port.egress->rate());
+    }
+    total += cfg_.link_latency;
+    if (port.host >= 0) return total;
+    sw = port.peer_switch;
+  }
+}
+
+std::vector<Bytes> Fabric::per_port_peak_occupancy() const {
+  std::vector<Bytes> peaks;
+  peaks.reserve(plan_.hosts.size());
+  for (std::size_t h = 0; h < plan_.hosts.size(); ++h) {
+    peaks.push_back(host_port(static_cast<int>(h)).peak);
+  }
+  return peaks;
+}
+
+std::vector<Fabric::InteriorLinkStats> Fabric::interior_link_stats() const {
+  std::vector<InteriorLinkStats> stats;
+  for (const auto& sw : switches_) {
+    for (std::size_t p = 0; p < sw->port_count(); ++p) {
+      const auto& port = sw->out(p);
+      if (port.peer_switch < 0) continue;
+      InteriorLinkStats s;
+      s.from_switch = sw->id();
+      s.to_switch = port.peer_switch;
+      s.frames = port.frames_out;
+      s.bytes = port.bytes_out;
+      s.peak_queue = port.peak;
+      s.drops = port.drops;
+      stats.push_back(s);
+    }
+  }
+  return stats;
+}
+
+void Fabric::inject(Frame frame) {
+  auto& dst_port = host_port(frame.dst);
+  if (dst_port.endpoint == nullptr) {
+    throw std::logic_error("Fabric::inject: destination port not attached");
   }
   frame.id = next_frame_id_++;
 
@@ -82,10 +226,10 @@ void Network::inject(Frame frame) {
                         eng_.now(),
                         static_cast<std::int64_t>(frame.wire.count()));
 
-  // Link state gates everything: a downed port loses frames in either
-  // direction at the PHY, before any loss/corruption process sees them.
-  if (!ports_.at(static_cast<std::size_t>(frame.src)).link_up ||
-      !port.link_up) {
+  // Link state gates everything: a downed host port loses frames in
+  // either direction at the PHY, before any loss/corruption process sees
+  // them.
+  if (!host_port(frame.src).link_up || !dst_port.link_up) {
     dropped_.add(eng_.now(), 1);
     link_dropped_.add(eng_.now(), 1);
     eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
@@ -93,8 +237,8 @@ void Network::inject(Frame frame) {
     return;
   }
 
-  // The frame reaches the switch after the ingress link latency; the
-  // buffer admission decision happens there.
+  // The frame reaches the first switch after the ingress link latency;
+  // the buffer admission decision happens there.
   // Injected loss models bit errors on the links; the frame vanishes
   // before the switch sees it.
   if (loss_rng_ && loss_rng_->chance(loss_probability_)) {
@@ -125,30 +269,67 @@ void Network::inject(Frame frame) {
                           eng_.now(), static_cast<std::int64_t>(frame.id));
   }
 
-  eng_.schedule(cfg_.link_latency + cfg_.switch_latency, [this, frame,
-                                                          &port]() mutable {
-    if (port.buffered + frame.wire > port.capacity) {
-      dropped_.add(eng_.now(), 1);
-      eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
-                            eng_.now(), static_cast<std::int64_t>(frame.id));
-      return;  // drop-tail: the whole burst is lost
-    }
-    port.buffered += frame.wire;
-    if (port.buffered > peak_occupancy_) peak_occupancy_ = port.buffered;
+  const int entry = plan_.hosts[static_cast<std::size_t>(frame.src)].sw;
+  eng_.schedule(cfg_.link_latency + cfg_.switch_latency,
+                [this, frame, entry] { forward_at(entry, frame); });
+}
 
-    // Egress serialization at line rate, FCFS with other buffered frames,
-    // then the egress link latency to the endpoint.
-    const Time serialized_at = port.egress->enqueue(frame.wire);
-    eng_.tracer().span(trace::Category::kNet, frame.dst, "net/egress",
-                       eng_.now(), serialized_at - eng_.now(),
-                       static_cast<std::int64_t>(frame.wire.count()));
-    eng_.schedule_at(serialized_at, [this, frame, &port] {
-      port.buffered -= frame.wire;
-      forwarded_.add(eng_.now(), 1);
-      bytes_forwarded_.add(eng_.now(), frame.wire.count());
-      eng_.schedule(cfg_.link_latency,
-                    [frame, &port] { port.endpoint->deliver(frame); });
-    });
+void Fabric::forward_at(int sw, Frame frame) {
+  Switch& node = *switches_[static_cast<std::size_t>(sw)];
+  const std::size_t out = plan_.port_to(sw, frame.dst);
+  Switch::OutPort& port = node.out(out);
+
+  // Interior link state is checked here, at forwarding time, because a
+  // frame already in flight when a backbone link fails is lost at the
+  // failed hop — not retroactively at injection.
+  if (port.peer_switch >= 0 && !port.link_up) {
+    ++port.drops;
+    dropped_.add(eng_.now(), 1);
+    link_dropped_.add(eng_.now(), 1);
+    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
+                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    return;
+  }
+
+  if (!node.admit(out, frame.wire)) {
+    dropped_.add(eng_.now(), 1);
+    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
+                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    return;  // drop-tail: the whole burst is lost
+  }
+  if (port.buffered > peak_occupancy_) peak_occupancy_ = port.buffered;
+
+  // Egress serialization at the port's line rate, FCFS with other
+  // buffered frames, then the egress link latency to the next hop or
+  // the endpoint.
+  const Time serialized_at = port.egress->enqueue(frame.wire);
+  eng_.tracer().span(trace::Category::kNet, frame.dst, "net/egress",
+                     eng_.now(), serialized_at - eng_.now(),
+                     static_cast<std::int64_t>(frame.wire.count()));
+  eng_.schedule_at(serialized_at, [this, frame, sw, out] {
+    Switch& node = *switches_[static_cast<std::size_t>(sw)];
+    Switch::OutPort& port = node.out(out);
+    node.release(out, frame.wire);
+    if (port.peer_switch >= 0) {
+      ++port.frames_out;
+      port.bytes_out += frame.wire;
+      port.congestion->add(eng_.now(), 1);
+      const int next = port.peer_switch;
+      eng_.schedule(cfg_.link_latency + cfg_.switch_latency,
+                    [this, frame, next] { forward_at(next, frame); });
+      return;
+    }
+    ++port.frames_out;
+    port.bytes_out += frame.wire;
+    forwarded_.add(eng_.now(), 1);
+    // Accounting fix: only clean deliveries count as forwarded bytes;
+    // corrupted frames crossed the fabric but the endpoint discards
+    // them, so their bytes land in a separate tally.
+    (frame.corrupted ? corrupted_bytes_ : bytes_forwarded_)
+        .add(eng_.now(), frame.wire.count());
+    Endpoint* endpoint = port.endpoint;
+    eng_.schedule(cfg_.link_latency,
+                  [frame, endpoint] { endpoint->deliver(frame); });
   });
 }
 

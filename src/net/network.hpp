@@ -1,5 +1,16 @@
-// Star-topology cluster network: N endpoints around one store-and-forward
-// switch with per-output-port buffering and drop-tail loss.
+// Routed cluster fabric: N endpoints attached to a graph of
+// store-and-forward switches with per-output-port buffering and
+// drop-tail loss.
+//
+// The shape of the graph comes from net::TopologyConfig (star, 2/3-level
+// fat tree, 2D/3D torus — see net/topology.hpp); the default single-star
+// fabric is event-for-event identical to the flat one-switch model the
+// paper's 8-16 node prototype implies, so all earlier golden digests
+// hold.  Multi-hop topologies forward hop by hop: every switch charges
+// its forwarding latency, queues the frame in the chosen output port's
+// buffer (drop-tail when full), serializes it at the port's line rate,
+// and hands it across the link to the next switch or the destination
+// host.
 //
 // The INIC protocol's no-loss argument (Section 4.1: "the total amount of
 // data put into the network never exceeds the total size of the network
@@ -7,11 +18,12 @@
 // model, so it is explicit: every output port has a byte-capacity buffer;
 // a burst that does not fit is dropped whole and counted.
 //
-// Fault hooks (driven by src/fault/, but usable directly): per-port link
-// up/down, uniform and Gilbert–Elliott bursty loss, frame corruption
-// (delivered but CRC-failed at the endpoint), per-port line-rate
-// degradation, and per-port buffer shrink.  All are deterministic per
-// seed and inert until configured.
+// Fault hooks (driven by src/fault/, but usable directly): per-host link
+// up/down (gated at injection, both directions), interior switch-switch
+// link up/down (gated at forwarding time), uniform and Gilbert–Elliott
+// bursty loss, frame corruption (delivered but CRC-failed at the
+// endpoint), per-port line-rate degradation, and per-port buffer shrink.
+// All are deterministic per seed and inert until configured.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +36,7 @@
 #include "common/units.hpp"
 #include "fault/gilbert_elliott.hpp"
 #include "net/frame.hpp"
+#include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "trace/counters.hpp"
@@ -41,29 +54,123 @@ class Endpoint {
 struct NetworkConfig {
   Bandwidth line_rate = Bandwidth::gbit_per_sec(1.0);
   Time link_latency = Time::micros(1.0);    // cable + PHY each way
-  Time switch_latency = Time::micros(4.0);  // forwarding decision
+  Time switch_latency = Time::micros(4.0);  // forwarding decision per hop
   Bytes port_buffer = Bytes::kib(512);      // output buffer per port
+  TopologyConfig topology{};                // default: single star switch
 };
 
-class Network {
+/// One store-and-forward switch: a set of output ports, each with a
+/// byte-capacity buffer (drop-tail admission), an egress serializer at
+/// the port's (possibly degraded) line rate, and a link-state flag.
+/// Ports face either a host or a peer switch; the Fabric drives
+/// forwarding and owns the routing decision.
+class Switch {
  public:
-  Network(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg = {});
+  struct OutPort {
+    int peer_switch = -1;  // >= 0: interior link to that switch
+    int host = -1;         // >= 0: host-facing port
+    Endpoint* endpoint = nullptr;
+    std::unique_ptr<sim::FifoResource> egress;
+    Bytes buffered = Bytes::zero();
+    Bytes capacity = Bytes::zero();  // admission limit (fault-adjustable)
+    Bytes peak = Bytes::zero();      // peak occupancy of this port
+    double rate_factor = 1.0;        // (0, 1] of nominal line rate
+    bool link_up = true;
+    // Per-port tallies for interior_link_stats() and reports.
+    std::uint64_t frames_out = 0;  // frames fully serialized out
+    Bytes bytes_out = Bytes::zero();
+    std::uint64_t drops = 0;  // drop-tail + link-down losses at this port
+    trace::Counter* congestion = nullptr;  // interior links only
+  };
+
+  Switch(int id, int level, std::size_t ports) : id_(id), level_(level) {
+    ports_.resize(ports);
+  }
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  int id() const { return id_; }
+  int level() const { return level_; }
+  std::size_t port_count() const { return ports_.size(); }
+  OutPort& out(std::size_t port) { return ports_.at(port); }
+  const OutPort& out(std::size_t port) const { return ports_.at(port); }
+
+  /// Drop-tail admission into one output buffer: false (and a counted
+  /// drop) when the whole burst does not fit, else the buffer grows and
+  /// the per-port peak updates.
+  bool admit(std::size_t port, Bytes wire) {
+    auto& p = ports_.at(port);
+    if (p.buffered + wire > p.capacity) {
+      ++p.drops;
+      return false;
+    }
+    p.buffered += wire;
+    if (p.buffered > p.peak) p.peak = p.buffered;
+    return true;
+  }
+
+  void release(std::size_t port, Bytes wire) {
+    ports_.at(port).buffered -= wire;
+  }
+
+ private:
+  int id_;
+  int level_;
+  std::vector<OutPort> ports_;
+};
+
+/// The routed fabric.  `Network` remains an alias for source
+/// compatibility: a default-constructed config is a single star switch
+/// with the exact semantics (and trace stream) of the original flat
+/// model.
+class Fabric {
+ public:
+  Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg = {});
 
   /// Attaches the device that receives frames destined to `node`.
   void attach(int node, Endpoint& endpoint);
 
   /// Injects a frame whose transmit serialization *at the source device*
-  /// is already accounted by the caller.  The network adds: ingress link
-  /// latency, switch forwarding latency, output-port buffering (with
-  /// drop-tail loss, visible only through frames_dropped()), egress
-  /// serialization at line rate, and egress link latency.  Senders learn
-  /// of drops the way real ones do: by timeout.
+  /// is already accounted by the caller.  The fabric adds: ingress link
+  /// latency, then per hop: switch forwarding latency, output-port
+  /// buffering (with drop-tail loss, visible only through
+  /// frames_dropped()), egress serialization at the port's line rate,
+  /// and the egress link latency.  Senders learn of drops the way real
+  /// ones do: by timeout.
   void inject(Frame frame);
 
   /// Per-port egress serialization resources (exposed so devices can rate
   /// their own transmit at the same line rate).
   Bandwidth line_rate() const { return cfg_.line_rate; }
-  Time one_way_latency() const { return cfg_.link_latency + cfg_.switch_latency; }
+
+  /// Single-hop constant from the flat model.  Kept for star-era
+  /// callers; protocol timers should use path_latency(), which knows the
+  /// real hop count, per-hop serialization, and degraded port rates.
+  Time one_way_latency() const {
+    return cfg_.link_latency + cfg_.switch_latency;
+  }
+
+  // ------------------------------------------------------------------
+  // Topology and routing queries.
+  // ------------------------------------------------------------------
+
+  const TopologyConfig& topology() const { return cfg_.topology; }
+  const TopologyPlan& plan() const { return plan_; }
+  std::size_t switch_count() const { return switches_.size(); }
+  int switch_level(int sw) const { return switches_.at(static_cast<std::size_t>(sw))->level(); }
+
+  /// Switch ids a src->dst frame visits, in order (>= 1 entries).
+  std::vector<int> route(int src, int dst) const;
+  /// Number of switches a src->dst frame traverses.
+  std::size_t hop_count(int src, int dst) const { return route(src, dst).size(); }
+
+  /// End-to-end latency of a `wire`-byte frame from src's device to
+  /// dst's device over an *idle* fabric, at the ports' current (possibly
+  /// degraded) rates: ingress link + per hop (switch latency +
+  /// serialization + link).  wire = 0 gives the pure propagation floor.
+  /// This is what protocol timers should seed from — on a single star it
+  /// reduces to link + switch + serialization + link.
+  Time path_latency(int src, int dst, Bytes wire = Bytes::zero()) const;
 
   // Fabric statistics are trace counters: the report reads the same
   // instrumentation the trace timeline records.
@@ -72,16 +179,38 @@ class Network {
   std::uint64_t frames_dropped_link_down() const { return link_dropped_.value(); }
   std::uint64_t frames_dropped_burst() const { return burst_dropped_.value(); }
   std::uint64_t frames_corrupted() const { return corrupted_.value(); }
+  /// Bytes of *clean* frames delivered to endpoints.  Corrupted frames'
+  /// bytes are tallied separately (they cross the fabric but the
+  /// endpoint discards them), and dropped bursts never count.
   Bytes bytes_forwarded() const { return Bytes(bytes_forwarded_.value()); }
+  Bytes bytes_corrupted() const { return Bytes(corrupted_bytes_.value()); }
 
-  /// Peak output-buffer occupancy seen on any port (bytes) — used by
-  /// tests of the paper's "fits in network buffers" claim.
+  /// Peak output-buffer occupancy seen on any port of any switch — used
+  /// by tests of the paper's "fits in network buffers" claim.
   Bytes peak_buffer_occupancy() const { return peak_occupancy_; }
+  /// Peak occupancy of one host's final egress port.
+  Bytes peak_buffer_occupancy(int node) const {
+    return host_port(node).peak;
+  }
+  /// Peak occupancy per host-facing port, indexed by node id.
+  std::vector<Bytes> per_port_peak_occupancy() const;
+
+  /// Per-directed-interior-link totals (empty on a star).
+  struct InteriorLinkStats {
+    int from_switch = -1;
+    int to_switch = -1;
+    std::uint64_t frames = 0;
+    Bytes bytes = Bytes::zero();
+    Bytes peak_queue = Bytes::zero();
+    std::uint64_t drops = 0;
+  };
+  std::vector<InteriorLinkStats> interior_link_stats() const;
 
   // ------------------------------------------------------------------
   // Fault hooks.  Every hook is deterministic: stochastic ones consume a
   // dedicated RNG stream seeded by the caller; state changes take effect
-  // for frames *injected* after the call.
+  // for frames *injected* after the call (interior link state: for
+  // frames *forwarded* after the call).
   // ------------------------------------------------------------------
 
   /// Failure injection: independently drops each DATA frame with the
@@ -103,35 +232,45 @@ class Network {
   /// network drop).  probability <= 0 disables.
   void set_corruption(double probability, std::uint64_t seed);
 
-  /// Administrative/physical link state of one node's port.  While down,
-  /// every frame injected from or destined to that node is lost at the
-  /// link (counted in both frames_dropped() and
+  /// Administrative/physical link state of one node's host port.  While
+  /// down, every frame injected from or destined to that node is lost at
+  /// the link (counted in both frames_dropped() and
   /// frames_dropped_link_down()).
   void set_link_state(int node, bool up);
-  bool link_up(int node) const { return ports_.at(static_cast<std::size_t>(node)).link_up; }
+  bool link_up(int node) const { return host_port(node).link_up; }
 
-  /// Degrades (or restores) one port's egress line rate to
+  /// Interior switch-switch link state (both directions).  While down,
+  /// frames reaching either switch with the other as next hop are lost
+  /// there, counted like host link drops.  Throws std::invalid_argument
+  /// if the two switches are not adjacent.
+  void set_interior_link_state(int sw_a, int sw_b, bool up);
+  bool has_interior_link(int sw_a, int sw_b) const;
+
+  /// Degrades (or restores) one host port's egress line rate to
   /// `factor` x nominal, e.g. a renegotiated 100 Mb/s link on a gigabit
-  /// fabric.  factor is clamped to (0, 1].
+  /// fabric.  factor must be in (0, 1]: factor <= 0 (or NaN) throws
+  /// std::invalid_argument, factor > 1 clamps to 1, and factor = 1
+  /// restores the exact nominal rate.  The unserved backlog queued at
+  /// the old rate is re-timed at the new rate (frames whose serialization
+  /// already completed or was already in flight keep their event times —
+  /// see docs/NETWORK.md).
   void set_port_rate_factor(int node, double factor);
+  double port_rate_factor(int node) const { return host_port(node).rate_factor; }
 
-  /// Shrinks (or restores, factor = 1) one port's output-buffer capacity
-  /// to `factor` x configured.  Frames already buffered are unaffected;
-  /// admission uses the new capacity.
+  /// Shrinks (or restores, factor = 1) one host port's output-buffer
+  /// capacity to `factor` x configured.  Frames already buffered are
+  /// unaffected; admission uses the new capacity.
   void set_port_buffer_factor(int node, double factor);
 
  private:
-  struct Port {
-    Endpoint* endpoint = nullptr;
-    std::unique_ptr<sim::FifoResource> egress;
-    Bytes buffered = Bytes::zero();
-    Bytes capacity = Bytes::zero();  // admission limit (fault-adjustable)
-    bool link_up = true;
-  };
+  Switch::OutPort& host_port(int node);
+  const Switch::OutPort& host_port(int node) const;
+  void forward_at(int sw, Frame frame);
 
   sim::Engine& eng_;
   NetworkConfig cfg_;
-  std::vector<Port> ports_;
+  TopologyPlan plan_;
+  std::vector<std::unique_ptr<Switch>> switches_;
   double loss_probability_ = 0.0;
   std::unique_ptr<Rng> loss_rng_;
   std::unique_ptr<fault::GilbertElliott> burst_loss_;
@@ -143,8 +282,13 @@ class Network {
   trace::Counter& link_dropped_;
   trace::Counter& burst_dropped_;
   trace::Counter& corrupted_;
+  trace::Counter& corrupted_bytes_;
   std::uint64_t next_frame_id_ = 1;
   Bytes peak_occupancy_ = Bytes::zero();
 };
+
+/// The flat star network the rest of the tree grew up with is now the
+/// degenerate Fabric; every existing consumer keeps compiling.
+using Network = Fabric;
 
 }  // namespace acc::net

@@ -1,0 +1,126 @@
+// Fabric topologies: how the cluster's switches are wired and how frames
+// are routed between them.
+//
+// The paper's prototype is 8-16 nodes on one switch (a star), but the
+// related work scales through real multi-stage fabrics: APEnet+'s 3D
+// torus direct network and the multi-stage Quadrics/Myrinet fat-trees of
+// the NIC-based collectives literature.  This header describes those
+// shapes declaratively; net::Fabric instantiates them as a graph of
+// store-and-forward switches.
+//
+// Routing determinism contract (docs/NETWORK.md): every topology routes
+// hop-by-hop through a pure function next_port(switch, destination) that
+// depends only on the topology geometry — never on load, history, or
+// randomness — so the same (config, workload, seeds) always produces the
+// same frame paths and the same trace digest.
+//
+//   * star      — one switch, one hop, no interior links (the flat model
+//                 every earlier run used; bit-identical to it).
+//   * fat tree  — 2-level folded Clos (edge + spine) or 3-level k-ary
+//                 fat-tree (edge + aggregation + core).  Up-down routing:
+//                 ascend toward a deterministically chosen common
+//                 ancestor (spine/core picked by destination id), then
+//                 descend; a route never re-ascends after its first
+//                 downward hop.
+//   * torus     — 2D/3D wrap-around grid, one host per switch.
+//                 Dimension-order routing: correct X completely, then Y,
+//                 then Z, taking the minimal wrap direction (ties broken
+//                 toward +).  Fixed dimension order is the classic
+//                 deadlock-avoidance discipline for torus networks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acc::net {
+
+enum class TopologyKind {
+  kStar,
+  kFatTree,
+  kTorus,
+};
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kStar;
+
+  // --- fat tree ---
+  /// Levels of switching: 2 (edge + spine) or 3 (edge + agg + core).
+  int levels = 2;
+  /// 2-level shape: hosts per edge switch and spine count.  0 = derive
+  /// (hosts_per_edge = ceil(sqrt(N)), spines = hosts_per_edge — full
+  /// bisection).  The 3-level shape is fully determined by N, which must
+  /// be k^3/4 for an even k (the classic k-ary fat-tree population).
+  std::size_t hosts_per_edge = 0;
+  std::size_t spines = 0;
+
+  // --- torus ---
+  /// 2 or 3 dimensions; extents 0 = derive a near-square/near-cube
+  /// factorization of N (largest divisor <= sqrt / cbrt first).  When
+  /// given, dim_x * dim_y (* dim_z) must equal N exactly.
+  int dims = 2;
+  std::size_t dim_x = 0;
+  std::size_t dim_y = 0;
+  std::size_t dim_z = 0;
+
+  static TopologyConfig star() { return {}; }
+  static TopologyConfig fat_tree(int levels = 2, std::size_t hosts_per_edge = 0,
+                                 std::size_t spines = 0) {
+    TopologyConfig cfg;
+    cfg.kind = TopologyKind::kFatTree;
+    cfg.levels = levels;
+    cfg.hosts_per_edge = hosts_per_edge;
+    cfg.spines = spines;
+    return cfg;
+  }
+  static TopologyConfig torus(int dims = 2, std::size_t x = 0,
+                              std::size_t y = 0, std::size_t z = 0) {
+    TopologyConfig cfg;
+    cfg.kind = TopologyKind::kTorus;
+    cfg.dims = dims;
+    cfg.dim_x = x;
+    cfg.dim_y = y;
+    cfg.dim_z = z;
+    return cfg;
+  }
+};
+
+/// Human/bench label for a concrete (config, size), e.g. "star",
+/// "fattree2[8x8+8]", "torus3[4x8x8]".
+std::string describe_topology(const TopologyConfig& cfg, std::size_t hosts);
+
+/// The materialized wiring of one fabric: switches, their ports (each
+/// port faces either a peer switch or a host), where each host attaches,
+/// and the dense next-hop routing table.
+struct TopologyPlan {
+  struct Port {
+    int peer_switch = -1;  // >= 0: interior link to that switch
+    int host = -1;         // >= 0: host-facing port
+  };
+  struct SwitchSpec {
+    int level = 0;  // 0 = edge (or the only level); grows toward the core
+    std::vector<Port> ports;
+  };
+  struct HostAttach {
+    int sw = 0;
+    std::size_t port = 0;
+  };
+
+  std::vector<SwitchSpec> switches;
+  std::vector<HostAttach> hosts;
+  /// next_port[sw * hosts.size() + dst]: the output port switch `sw`
+  /// forwards a frame for host `dst` through.
+  std::vector<std::uint16_t> next_port;
+
+  std::size_t port_to(int sw, int dst) const {
+    return next_port[static_cast<std::size_t>(sw) * hosts.size() +
+                     static_cast<std::size_t>(dst)];
+  }
+};
+
+/// Builds the plan; throws std::invalid_argument on an unrealizable
+/// shape (e.g. a 3-level fat tree whose N is not k^3/4, or explicit
+/// torus extents that do not multiply to N).
+TopologyPlan build_topology(const TopologyConfig& cfg, std::size_t hosts);
+
+}  // namespace acc::net

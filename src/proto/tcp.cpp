@@ -41,6 +41,7 @@ TcpStack::Connection& TcpStack::connection_to(int peer) {
   auto& slot = out_[peer];
   if (!slot) {
     slot = std::make_unique<Connection>(node_.engine());
+    slot->peer = peer;
     slot->cwnd = static_cast<double>(cfg_.initial_window_segments * cfg_.mss);
     slot->ssthresh = static_cast<double>(cfg_.max_window.count());
   }
@@ -58,6 +59,19 @@ TcpStack::Connection& TcpStack::connection_from(int peer) {
 Time TcpStack::current_rto(const Connection& c) const {
   Time rto = c.srtt == Time::zero() ? cfg_.min_rto
                                     : std::max(cfg_.min_rto, c.srtt * 3.0);
+  // Path-aware floor: the timer must never undercut two round trips of
+  // the burst and its ACK over the *actual* route — on a multi-hop or
+  // rate-degraded fabric the old flat one_way_latency() constant
+  // under-estimates the RTT and fires spurious retransmissions.  On the
+  // single-star configs the floor sits far below min_rto and changes
+  // nothing.
+  if (c.peer >= 0) {
+    const auto& net = nic_.network();
+    const Time rtt =
+        net.path_latency(node_.id(), c.peer, c.last_burst_wire) +
+        net.path_latency(c.peer, node_.id(), cfg_.ack_wire_size);
+    rto = std::max(rto, rtt * 2.0);
+  }
   // Exponential backoff: each consecutive timeout on the same data
   // doubles the timer, capped — a dead or badly lossy path must not be
   // hammered on a fixed 200 ms clock.
@@ -119,6 +133,7 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
     if (burst_start == msg_start) frame.context = header;
 
     c.snd_next = burst_start + burst_bytes;
+    c.last_burst_wire = frame.wire;
     c.burst_sent_at = eng.now();
     c.burst_retransmitted = retransmission;
     eng.tracer().instant(trace::Category::kTcp, node_.id(), "tcp/tx_burst",

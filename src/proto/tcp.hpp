@@ -83,6 +83,8 @@ class TcpStack {
     explicit Connection(sim::Engine& eng) : send_lock(eng, 1) {}
     // ---- sender state ----
     sim::Semaphore send_lock;        // one in-flight message per connection
+    int peer = -1;                   // destination node (sender side)
+    Bytes last_burst_wire = Bytes::zero();  // wire size of in-flight burst
     double cwnd = 0.0;               // congestion window, bytes
     double ssthresh = 0.0;           // slow-start threshold, bytes
     std::uint64_t snd_next = 0;      // next sequence byte to send

@@ -64,9 +64,17 @@ void write_point(std::ostream& os, const RunRecord& r,
   os << indent << "  \"wall_ms\": " << number(r.wall_ms) << ",\n";
   os << indent << "  \"wall_ns\": " << r.wall_ns << ",\n";
   os << indent << "  \"events\": " << r.metrics.events << ",\n";
-  os << indent << "  \"events_per_sec\": " << number(r.events_per_sec())
-     << "\n";
-  os << indent << "}";
+  os << indent << "  \"events_per_sec\": " << number(r.events_per_sec());
+  if (!r.metrics.counters.empty()) {
+    os << ",\n" << indent << "  \"counters\": {";
+    for (std::size_t i = 0; i < r.metrics.counters.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << escaped(r.metrics.counters[i].first)
+         << "\": " << r.metrics.counters[i].second;
+    }
+    os << "}";
+  }
+  os << "\n" << indent << "}";
 }
 
 }  // namespace

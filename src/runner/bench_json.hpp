@@ -18,7 +18,9 @@
 //             "wall_ms": <point wall clock, ms>,
 //             "wall_ns": <same measurement, integer nanoseconds>,
 //             "events":  <engine events executed>,
-//             "events_per_sec": <host dispatch throughput, events/wall>
+//             "events_per_sec": <host dispatch throughput, events/wall>,
+//             "counters": { "<name>": <int64>, ... }   // body-chosen;
+//                                     // omitted when the body set none
 //           }, ...
 //         }
 //       }, ...

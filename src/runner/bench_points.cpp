@@ -1,15 +1,19 @@
 #include "runner/bench_points.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
+#include "collectives/collectives.hpp"
 #include "core/experiment.hpp"
 #include "model/calibration.hpp"
 #include "model/fft_model.hpp"
 #include "model/sort_model.hpp"
+#include "net/topology.hpp"
 
 namespace acc::runner {
 
@@ -111,7 +115,85 @@ RunMetrics transpose_metrics(std::size_t n, std::size_t p) {
   return m;
 }
 
+/// One topology-scaling point: barrier + topology-aware broadcast and
+/// reduce (1 KiB of doubles each) on an ideal-INIC cluster wired as
+/// `topo`.  Counters summarize the fabric and its per-link congestion
+/// tallies; verification failures throw so the runner marks the point
+/// failed instead of reporting bogus numbers.
+RunMetrics topology_metrics(const net::TopologyConfig& topo, std::size_t p) {
+  apps::ClusterOptions opts;
+  opts.topology = topo;
+  apps::SimCluster cluster(p, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), opts);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  const auto bar = coll::barrier(cluster);
+  const auto bcast = coll::topology_broadcast(cluster, /*elements=*/128,
+                                              /*seed=*/9);
+  const auto red = coll::topology_reduce(cluster, /*elements=*/128,
+                                         /*seed=*/11);
+  if (!bar.verified || !bcast.verified || !red.verified) {
+    throw std::runtime_error("topology collective failed verification");
+  }
+  net::Network& net = cluster.network();
+  std::int64_t link_frames_total = 0;
+  std::int64_t link_frames_max = 0;
+  std::int64_t link_peak_queue_max = 0;
+  const auto links = net.interior_link_stats();
+  for (const auto& l : links) {
+    const auto frames = static_cast<std::int64_t>(l.frames);
+    link_frames_total += frames;
+    link_frames_max = std::max(link_frames_max, frames);
+    link_peak_queue_max =
+        std::max(link_peak_queue_max,
+                 static_cast<std::int64_t>(l.peak_queue.count()));
+  }
+  RunMetrics m;
+  m.sim_time = bar.total + bcast.total + red.total;
+  m.counters = {
+      {"switches", static_cast<std::int64_t>(net.switch_count())},
+      {"interior_links", static_cast<std::int64_t>(links.size())},
+      {"link_frames_total", link_frames_total},
+      {"link_frames_max", link_frames_max},
+      {"link_peak_queue_max_bytes", link_peak_queue_max},
+      {"frames_forwarded", static_cast<std::int64_t>(net.frames_forwarded())},
+      {"frames_dropped", static_cast<std::int64_t>(net.frames_dropped())}};
+  capture_run(cluster, m);
+  return m;
+}
+
 }  // namespace
+
+std::vector<RunPoint> topology_scaling_points(bool reduced) {
+  struct Grid {
+    const char* label;   // point-name prefix and "topology" param
+    net::TopologyConfig config;
+    std::size_t p;
+    bool full_only;
+  };
+  const std::vector<Grid> grid = {
+      {"star", net::TopologyConfig::star(), 64, false},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 64, false},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 256, false},
+      {"torus2", net::TopologyConfig::torus(2), 64, false},
+      {"torus3", net::TopologyConfig::torus(3), 256, false},
+      {"fattree3", net::TopologyConfig::fat_tree(3), 1024, true},
+      {"torus3", net::TopologyConfig::torus(3), 1024, true},
+  };
+  std::vector<RunPoint> points;
+  for (const auto& g : grid) {
+    if (reduced && g.full_only) continue;
+    const net::TopologyConfig topo = g.config;
+    const std::size_t p = g.p;
+    points.push_back(RunPoint{
+        "fig_scaling_topology",
+        std::string(g.label) + "/P=" + num(p),
+        {{"topology", g.label},
+         {"shape", net::describe_topology(topo, p)},
+         {"P", num(p)}},
+        [topo, p] { return topology_metrics(topo, p); }});
+  }
+  return points;
+}
 
 std::vector<RunPoint> figure_sweep_points(bool reduced) {
   std::vector<RunPoint> points;
@@ -215,6 +297,13 @@ std::vector<RunPoint> figure_sweep_points(bool reduced) {
         [cal, ablation_keys, ablation_p] {
           return sort_ablation_metrics(cal, ablation_keys, ablation_p);
         }});
+  }
+
+  // Topology scaling: collectives over multi-hop fabrics (P up to 1024
+  // in the full grid; reduced keeps P <= 256 so CI and the TSan sweep
+  // stay fast).
+  for (auto& point : topology_scaling_points(reduced)) {
+    points.push_back(std::move(point));
   }
 
   return points;

@@ -18,6 +18,7 @@
 //   fig5a_sort_components  sort component times (GigE)
 //   ablation_packet_size   INIC packet-size sweep (sort)
 //   ablation_dma_threshold card-to-host DMA threshold sweep (sort)
+//   fig_scaling_topology   collectives over multi-hop fabrics, P to 1024
 #pragma once
 
 #include <vector>
@@ -28,7 +29,16 @@ namespace acc::runner {
 
 /// Builds the full sweep (`reduced` = false: the exact point grid the
 /// EXPERIMENTS.md tables plot) or a reduced CI-sized grid (smaller
-/// problems, P <= 4) that exercises every suite in seconds.
+/// problems, P <= 4 for the figure suites, P <= 256 for the topology
+/// scaling suite) that exercises every suite in seconds.
 std::vector<RunPoint> figure_sweep_points(bool reduced);
+
+/// The fig_scaling_topology suite on its own: barrier + topology-aware
+/// broadcast/reduce over star, fat-tree and torus fabrics
+/// (docs/NETWORK.md), recording per-link congestion summaries.  Reduced
+/// keeps P <= 256; full adds the 1024-node fat-tree and torus points.
+/// Included in figure_sweep_points; exposed separately so the
+/// bench/fig_scaling_topology driver can run just this grid.
+std::vector<RunPoint> topology_scaling_points(bool reduced);
 
 }  // namespace acc::runner

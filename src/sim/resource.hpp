@@ -77,6 +77,23 @@ class FifoResource {
   /// the new rate applies from the next enqueue.
   void set_rate(Bandwidth rate) { rate_ = rate; }
 
+  /// Changes the service rate and re-times the *unserved backlog* at the
+  /// new rate, so work queued behind the rate change drains at the speed
+  /// the link actually has now.  Completion times callers already
+  /// captured from enqueue() are not recalled — those events still fire
+  /// when originally booked; only requests submitted after this call
+  /// observe the stretched (or compressed) backlog.
+  void set_rate_rescaled(Bandwidth rate) {
+    assert(rate.bytes_per_second() > 0.0);
+    const Time now = eng_.now();
+    if (available_at_ > now) {
+      const double ratio =
+          rate_.bytes_per_second() / rate.bytes_per_second();
+      available_at_ = now + (available_at_ - now) * ratio;
+    }
+    rate_ = rate;
+  }
+
   Bandwidth rate() const { return rate_; }
   Bytes bytes_moved() const { return bytes_moved_; }
   const std::string& name() const { return name_; }
