@@ -1,77 +1,227 @@
-// Extension bench: collective-operation latency, host/TCP vs INIC —
+// Collective-backend sweep: the collectives suite on its own —
 // quantifying the paper's closing claim that the architecture can
 // "accelerate functions ranging from collective operations to MPI
 // derived data types".
 //
-// Barrier and small allreduce are latency-bound: every tree hop on the
-// TCP cluster pays coalesced-interrupt receive latency and slow-started
-// sends, while INIC hops are card-to-card.  Large reduce is
-// combine-bound: the host adds vectors on the CPU; the INIC adds them in
-// the stream.
+// Each point runs barrier + topology-aware allreduce with one backend:
+//   host  the software tree over GigE TCP — every hop pays protocol
+//         CPU time and coalesced-interrupt receive latency;
+//   nic   the card-resident engine over the ideal INIC — trigger
+//         tables forward and combine on the cards, so the host CPU
+//         columns must read zero.
+// The host-cost split rides in each point's counters (host_cpu_events,
+// irq_events, irq_delivered, host_cpu_ns, trigger_fires) feeding the
+// acceptance check that the NIC backend strictly beats the host
+// backend on CPU events and interrupt deliveries at P >= 16.
+//
+// Usage:
+//   collectives_compare [--threads=N] [--points=full|reduced]
+//                       [--backend=host|nic] [--topology=NAME]
+//                       [--out=PATH] [--check-digests]
+//
+// --backend / --topology filter the grid by the matching point params;
+// the other flags behave exactly as in bench_all (this grid is also
+// reachable via `bench_all --suite=collectives`).  The JSON schema is
+// docs/BENCHMARKS.md's v2.
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "collectives/collectives.hpp"
 #include "common/table.hpp"
+#include "runner/bench_json.hpp"
+#include "runner/bench_points.hpp"
+#include "runner/sweep.hpp"
 
 using namespace acc;
 
-int main() {
-  print_banner("Extension: collective operations, host/TCP vs INIC");
+namespace {
 
-  {
-    Table table({"P", "TCP barrier (us)", "INIC barrier (us)", "ratio"});
-    for (std::size_t p : {2, 4, 8, 16}) {
-      apps::SimCluster tcp(p, apps::Interconnect::kGigabitTcp);
-      const auto r_tcp = coll::barrier(tcp);
-      apps::SimCluster inic(p, apps::Interconnect::kInicIdeal);
-      const auto r_inic = coll::barrier(inic);
-      table.row()
-          .add(static_cast<std::int64_t>(p))
-          .add(r_tcp.total.as_micros(), 1)
-          .add(r_inic.total.as_micros(), 1)
-          .add(r_tcp.total / r_inic.total, 2);
+struct Options {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool reduced = false;
+  bool check_digests = false;
+  std::string backend;   // empty = both
+  std::string topology;  // empty = every shape
+  std::string out = "BENCH_results.json";
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--points=reduced") {
+      opts.reduced = true;
+    } else if (arg == "--points=full") {
+      opts.reduced = false;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      opts.backend = arg.substr(10);
+      if (opts.backend != "host" && opts.backend != "nic") {
+        std::fprintf(stderr, "unknown backend: %s (host|nic)\n",
+                     opts.backend.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      opts.topology = arg.substr(11);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out = arg.substr(6);
+    } else if (arg == "--check-digests") {
+      opts.check_digests = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
     }
-    table.print();
   }
+  return true;
+}
 
-  {
-    std::puts("");
-    Table table({"elements", "TCP allreduce (ms)", "INIC allreduce (ms)",
-                 "ratio"});
-    for (std::size_t elements : {256u, 4096u, 65536u, 1048576u}) {
-      apps::SimCluster tcp(8, apps::Interconnect::kGigabitTcp);
-      const auto r_tcp = coll::allreduce(tcp, elements);
-      apps::SimCluster inic(8, apps::Interconnect::kInicIdeal);
-      const auto r_inic = coll::allreduce(inic, elements);
-      table.row()
-          .add(static_cast<std::int64_t>(elements))
-          .add(r_tcp.total.as_millis(), 3)
-          .add(r_inic.total.as_millis(), 3)
-          .add(r_tcp.total / r_inic.total, 2);
-    }
-    table.print();
+std::string param(const std::vector<std::pair<std::string, std::string>>& ps,
+                  const char* name) {
+  for (const auto& [key, value] : ps) {
+    if (key == name) return value;
   }
+  return "";
+}
 
-  {
-    std::puts("");
-    Table table({"P", "TCP alltoall (ms)", "INIC alltoall (ms)", "ratio"});
-    for (std::size_t p : {2, 4, 8, 16}) {
-      apps::SimCluster tcp(p, apps::Interconnect::kGigabitTcp);
-      const auto r_tcp = coll::alltoall(tcp, 1 << 14);
-      apps::SimCluster inic(p, apps::Interconnect::kInicIdeal);
-      const auto r_inic = coll::alltoall(inic, 1 << 14);
-      table.row()
-          .add(static_cast<std::int64_t>(p))
-          .add(r_tcp.total.as_millis(), 2)
-          .add(r_inic.total.as_millis(), 2)
-          .add(r_tcp.total / r_inic.total, 2);
-    }
-    table.print();
+std::int64_t counter(const runner::RunRecord& r, const char* name) {
+  for (const auto& [key, value] : r.metrics.counters) {
+    if (key == name) return value;
   }
-
-  std::puts(
-      "\nExpected: INIC wins grow with P for latency-bound collectives"
-      "\n(barrier, small allreduce) and with element count for"
-      "\ncombine-bound ones (the host pays per-element CPU time).");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  auto points = runner::collective_points(opts.reduced);
+  if (!opts.backend.empty() || !opts.topology.empty()) {
+    std::vector<runner::RunPoint> kept;
+    for (auto& p : points) {
+      if (!opts.backend.empty() &&
+          param(p.params, "collective_backend") != opts.backend) {
+        continue;
+      }
+      if (!opts.topology.empty() &&
+          param(p.params, "topology") != opts.topology) {
+        continue;
+      }
+      kept.push_back(std::move(p));
+    }
+    points = std::move(kept);
+    if (points.empty()) {
+      std::fprintf(stderr, "no points match the backend/topology filter\n");
+      return 2;
+    }
+  }
+
+  runner::SweepRunner pool(opts.threads);
+  print_banner("collectives_compare: " + std::to_string(points.size()) +
+               " points (" + std::string(opts.reduced ? "reduced" : "full") +
+               ") on " + std::to_string(pool.threads()) + " threads");
+  const auto results = pool.run(points);
+
+  Table table({"point", "barrier (us)", "allreduce (us)", "cpu events",
+               "irq events", "irqs", "host cpu (us)", "trig fires",
+               "digest"});
+  int failed = 0;
+  for (const auto& r : results) {
+    table.row().add(r.name);
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s: %s\n", r.name.c_str(),
+                   r.error.c_str());
+      table.add("ERROR: " + r.error);
+      for (int i = 0; i < 7; ++i) table.skip();
+      continue;
+    }
+    table.add(static_cast<double>(counter(r, "barrier_ns")) * 1e-3, 1)
+        .add(static_cast<double>(counter(r, "allreduce_ns")) * 1e-3, 1)
+        .add(counter(r, "host_cpu_events"))
+        .add(counter(r, "irq_events"))
+        .add(counter(r, "irq_delivered"))
+        .add(static_cast<double>(counter(r, "host_cpu_ns")) * 1e-3, 1)
+        .add(counter(r, "trigger_fires"))
+        .add(runner::digest_hex(r.metrics.digest));
+  }
+  table.print();
+
+  if (opts.out != "-") {
+    runner::BenchJsonMeta meta;
+    meta.point_set = opts.reduced ? "reduced" : "full";
+    meta.threads = pool.threads();
+    meta.sweep_wall_ms = pool.last_sweep_wall_ms();
+    std::ofstream out(opts.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+      return 2;
+    }
+    runner::write_bench_json(out, results, meta);
+    std::printf("wrote %s\n", opts.out.c_str());
+  }
+
+  int mismatches = 0;
+  if (opts.check_digests) {
+    std::puts("\n== digest check: re-running every point serially ==");
+    runner::SweepRunner serial_runner(/*threads=*/1);
+    const auto serial = serial_runner.run(points);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = results[i];
+      const auto& b = serial[i];
+      const bool same = a.ok == b.ok && a.metrics.digest == b.metrics.digest &&
+                        a.metrics.sim_time == b.metrics.sim_time &&
+                        a.metrics.counters == b.metrics.counters;
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "DIGEST MISMATCH %s: pooled %s vs serial %s\n",
+                     a.name.c_str(),
+                     runner::digest_hex(a.metrics.digest).c_str(),
+                     runner::digest_hex(b.metrics.digest).c_str());
+      }
+    }
+    if (mismatches == 0) {
+      std::printf("digest check passed: %zu/%zu points reproduce their "
+                  "serial digests\n",
+                  serial.size(), serial.size());
+    }
+  }
+
+  // NIC-vs-host acceptance: at every grid point present for both
+  // backends, the NIC plane must charge strictly fewer host CPU events
+  // and interrupt deliveries.
+  int regressions = 0;
+  for (const auto& nic : results) {
+    if (!nic.ok || param(nic.params, "collective_backend") != "nic") continue;
+    for (const auto& host : results) {
+      if (!host.ok || param(host.params, "collective_backend") != "host") {
+        continue;
+      }
+      if (param(host.params, "topology") != param(nic.params, "topology") ||
+          param(host.params, "P") != param(nic.params, "P")) {
+        continue;
+      }
+      const bool wins =
+          counter(nic, "host_cpu_events") < counter(host, "host_cpu_events") &&
+          counter(nic, "irq_delivered") < counter(host, "irq_delivered");
+      if (!wins) {
+        ++regressions;
+        std::fprintf(stderr,
+                     "HOST-COST REGRESSION %s: nic cpu/irq %lld/%lld vs "
+                     "host %lld/%lld\n",
+                     nic.name.c_str(),
+                     static_cast<long long>(counter(nic, "host_cpu_events")),
+                     static_cast<long long>(counter(nic, "irq_delivered")),
+                     static_cast<long long>(counter(host, "host_cpu_events")),
+                     static_cast<long long>(counter(host, "irq_delivered")));
+      }
+    }
+  }
+  if (regressions == 0 && opts.backend.empty()) {
+    std::puts("host-cost check passed: the NIC backend beats the host "
+              "backend on CPU events and interrupt deliveries everywhere");
+  }
+  return (failed || mismatches || regressions) ? 1 : 0;
 }

@@ -30,7 +30,10 @@ int next_trace_file_index() {
 sim::Process pump_fallback(proto::TcpStack& tcp, inic::InicCard& card) {
   for (;;) {
     proto::Message msg = co_await tcp.inbox().recv();
-    card.card_inbox().send_now(std::move(msg));
+    // accept_message routes collective trigger tags through the card's
+    // trigger table and everything else into the card inbox, so on-card
+    // collectives survive a fallback re-carry too.
+    card.accept_message(std::move(msg));
   }
 }
 
@@ -76,10 +79,25 @@ bool is_inic(Interconnect ic) {
   return ic == Interconnect::kInicIdeal || ic == Interconnect::kInicPrototype;
 }
 
+const char* to_string(CollectiveBackend backend) {
+  switch (backend) {
+    case CollectiveBackend::kHost:
+      return "host";
+    case CollectiveBackend::kNic:
+      return "nic";
+  }
+  return "?";
+}
+
 SimCluster::SimCluster(std::size_t n, Interconnect ic,
                        const model::Calibration& cal,
                        const ClusterOptions& opts)
     : ic_(ic), cal_(cal), opts_(opts) {
+  if (opts_.collective_backend == CollectiveBackend::kNic && !is_inic(ic)) {
+    throw std::invalid_argument(
+        "ClusterOptions::collective_backend = kNic requires an INIC "
+        "interconnect (the collective state machines live on the cards)");
+  }
   // Environment-driven tracing (documented on tracer()): any existing
   // example or benchmark can be traced without code changes.  The
   // environment is captured once per process (see trace_env()).
@@ -199,6 +217,25 @@ sim::Channel<proto::Message>& SimCluster::inbox(std::size_t i) {
 
 std::uint64_t SimCluster::fallback_transfers() const {
   return fallback_transfers_ ? fallback_transfers_->value() : 0;
+}
+
+inic::CollectiveEngine& SimCluster::collective_engine(std::size_t i) {
+  if (!is_inic(ic_)) {
+    throw std::logic_error(
+        "collective_engine(): no INIC cards on this interconnect");
+  }
+  if (collective_engines_.empty()) collective_engines_.resize(size());
+  auto& slot = collective_engines_.at(i);
+  if (!slot) {
+    const int src = static_cast<int>(i);
+    slot = std::make_unique<inic::CollectiveEngine>(
+        *cards_.at(i),
+        [this, src](int dst, Bytes size, std::uint64_t tag,
+                    std::any payload) {
+          return transfer(src, dst, size, tag, std::move(payload));
+        });
+  }
+  return *slot;
 }
 
 void SimCluster::note_fallback(int src, Bytes size) {

@@ -10,6 +10,7 @@
 
 #include "hw/node.hpp"
 #include "inic/card.hpp"
+#include "inic/collective.hpp"
 #include "model/calibration.hpp"
 #include "net/network.hpp"
 #include "net/nic.hpp"
@@ -29,6 +30,14 @@ enum class Interconnect {
 
 const char* to_string(Interconnect ic);
 bool is_inic(Interconnect ic);
+
+/// Where collective operations (src/collectives/) execute.
+enum class CollectiveBackend {
+  kHost,  // host-driven send/recv loops (today's code path)
+  kNic,   // card-resident trigger state machines (inic/collective.hpp)
+};
+
+const char* to_string(CollectiveBackend backend);
 
 /// Immutable snapshot of the trace-related environment variables
 /// (ACC_TRACE / ACC_TRACE_DIGEST), captured once per process at first
@@ -67,6 +76,10 @@ struct ClusterOptions {
   /// studies.  Protocol timers (TCP RTO, INIC go-back-N) seed from the
   /// fabric's per-path latency, so multi-hop topologies work unchanged.
   net::TopologyConfig topology{};
+  /// Collective execution backend.  kNic requires an INIC interconnect
+  /// (the state machines live on the cards); the default keeps every
+  /// existing run — and its trace digest — bit-identical.
+  CollectiveBackend collective_backend = CollectiveBackend::kHost;
 };
 
 /// A fully wired simulated cluster.  Exactly one of (nics+tcp) / cards is
@@ -123,6 +136,15 @@ class SimCluster {
   /// Transfers that were rerouted over the fallback TCP plane.
   std::uint64_t fallback_transfers() const;
 
+  /// Node `i`'s NIC-resident collective engine (INIC interconnects
+  /// only; lazily constructed).  Its send path is transfer(), so
+  /// on-card forwards inherit the degraded-fallback behaviour.
+  inic::CollectiveEngine& collective_engine(std::size_t i);
+
+  /// Hands out a fresh cluster-unique collective operation id (tags two
+  /// trigger-table entries per op; see inic/collective.cpp).
+  std::uint64_t next_collective_op() { return next_collective_op_++; }
+
  private:
   void note_fallback(int src, Bytes size);
 
@@ -145,6 +167,11 @@ class SimCluster {
   std::vector<std::unique_ptr<proto::TcpStack>> fallback_tcp_;
   std::vector<std::unique_ptr<sim::Process>> fallback_pumps_;
   trace::Counter* fallback_transfers_ = nullptr;
+  // NIC-resident collective engines (one per card, lazily built) and the
+  // op-id generator they share.  Declared after cards_ so the engines
+  // (whose triggers reference the cards) are destroyed first.
+  std::vector<std::unique_ptr<inic::CollectiveEngine>> collective_engines_;
+  std::uint64_t next_collective_op_ = 0;
 };
 
 }  // namespace acc::apps

@@ -1,0 +1,61 @@
+// Swappable collective backends.
+//
+// One abstract interface, ICollectiveRoutines, with an implementation
+// per execution strategy (the HCL `IHclCollectiveRoutines` idiom):
+//
+//   * host_routines() — the host-driven send/recv algorithms that have
+//     always lived in src/collectives (dissemination barrier, binomial
+//     trees).  Event-for-event identical to the pre-backend code.
+//   * nic_routines()  — card-resident state machines: the host ranks
+//     only arm their card's triggers and await completion; every
+//     forward/combine hop runs on the INIC (inic/collective.hpp).
+//     Requires an INIC interconnect.
+//
+// The free functions in collectives.hpp dispatch through routines_for(),
+// which reads apps::ClusterOptions::collective_backend — application
+// code never names a backend directly.
+#pragma once
+
+#include <cstdint>
+
+#include "collectives/collectives.hpp"
+
+namespace acc::coll {
+
+class ICollectiveRoutines {
+ public:
+  virtual ~ICollectiveRoutines() = default;
+
+  virtual CollectiveResult barrier(apps::SimCluster& cluster) const = 0;
+  virtual CollectiveResult broadcast(apps::SimCluster& cluster,
+                                     std::size_t elements,
+                                     std::uint64_t seed) const = 0;
+  virtual CollectiveResult reduce(apps::SimCluster& cluster,
+                                  std::size_t elements,
+                                  std::uint64_t seed) const = 0;
+  virtual CollectiveResult allreduce(apps::SimCluster& cluster,
+                                     std::size_t elements,
+                                     std::uint64_t seed) const = 0;
+  virtual CollectiveResult alltoall(apps::SimCluster& cluster,
+                                    std::size_t elements,
+                                    std::uint64_t seed) const = 0;
+  virtual CollectiveResult topology_broadcast(apps::SimCluster& cluster,
+                                              std::size_t elements,
+                                              std::uint64_t seed) const = 0;
+  virtual CollectiveResult topology_reduce(apps::SimCluster& cluster,
+                                           std::size_t elements,
+                                           std::uint64_t seed) const = 0;
+  virtual CollectiveResult topology_allreduce(apps::SimCluster& cluster,
+                                              std::size_t elements,
+                                              std::uint64_t seed) const = 0;
+};
+
+/// Stateless singletons (safe to share across concurrent sweep threads —
+/// all per-run state lives in the SimCluster passed in).
+const ICollectiveRoutines& host_routines();
+const ICollectiveRoutines& nic_routines();
+
+/// The backend selected by cluster.options().collective_backend.
+const ICollectiveRoutines& routines_for(apps::SimCluster& cluster);
+
+}  // namespace acc::coll

@@ -20,6 +20,14 @@
 //
 // All collectives move real data; results are verified against serial
 // references in the tests.
+//
+// Orthogonally to the interconnect, the *driver* of the collective is a
+// swappable backend (collectives/backend.hpp, selected by
+// apps::ClusterOptions::collective_backend): the Host backend runs the
+// send/recv loops above on the host ranks; the Nic backend walks the
+// same topology-aware binomial trees entirely on the INIC cards via
+// trigger primitives (inic/collective.hpp).  The free functions below
+// dispatch to the cluster's configured backend.  See docs/COLLECTIVES.md.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,10 @@ struct CollectiveResult {
   /// Time from the first rank entering to the last rank leaving.
   Time total = Time::zero();
   bool verified = false;
+  /// Final per-physical-node payloads (data-bearing collectives only;
+  /// reduce leaves non-root entries empty).  Lets tests compare backends
+  /// element-for-element on top of the built-in verification.
+  std::vector<std::vector<double>> data;
 };
 
 /// Barrier: no data, pure synchronization (dissemination algorithm,

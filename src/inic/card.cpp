@@ -38,7 +38,10 @@ InicCard::InicCard(hw::Node& node, net::Network& network,
       crc_dropped_(counter("inic/crc_drops")),
       reset_dropped_(counter("inic/reset_drops")),
       peer_unreachable_(counter("inic/peer_unreachable")),
-      resets_(counter("inic/resets")) {
+      resets_(counter("inic/resets")),
+      triggers_armed_(trigger_counter("coll/triggers_armed")),
+      trigger_fires_(trigger_counter("coll/trigger_fires")),
+      trigger_dups_(trigger_counter("coll/trigger_dups")) {
   if (cfg_.shared_card_bus) {
     card_bus_ = std::make_unique<sim::FifoResource>(
         node.engine(), cfg_.card_bus_rate,
@@ -50,6 +53,11 @@ InicCard::InicCard(hw::Node& node, net::Network& network,
 trace::Counter& InicCard::counter(const char* name) {
   return node_.engine().counters().get(trace::Category::kInic, node_.id(),
                                        name);
+}
+
+trace::Counter& InicCard::trigger_counter(const char* name) {
+  return node_.engine().counters().get(trace::Category::kCollective,
+                                       node_.id(), name);
 }
 
 trace::Tracer& InicCard::tracer() { return node_.engine().tracer(); }
@@ -413,9 +421,96 @@ void InicCard::deliver(const net::Frame& frame) {
       tracer().instant(trace::Category::kInic, node_.id(),
                        "inic/msg_complete", node_.engine().now(),
                        static_cast<std::int64_t>(msg.size.count()));
-      card_inbox_.send_now(std::move(msg));
+      accept_message(std::move(msg));
     }
   });
+}
+
+void InicCard::arm_trigger(std::uint64_t tag, std::size_t expected,
+                           TriggerAction action) {
+  if (!is_trigger_tag(tag)) {
+    throw std::invalid_argument("arm_trigger: tag outside trigger tag space");
+  }
+  if (expected == 0) {
+    throw std::invalid_argument("arm_trigger: expected count must be > 0");
+  }
+  if (triggers_.count(tag) != 0 || retired_triggers_.count(tag) != 0) {
+    throw std::logic_error("arm_trigger: tag already armed or retired");
+  }
+  sim::Engine& eng = node_.engine();
+  triggers_.emplace(tag, Trigger{expected, std::move(action), {}});
+  triggers_armed_.add(eng.now(), 1);
+  tracer().instant(trace::Category::kCollective, node_.id(),
+                   "coll/trigger_arm", eng.now(),
+                   static_cast<std::int64_t>(expected));
+  // Replay messages that beat the arm (a fast subtree finishing before
+  // this rank entered the collective).
+  auto sit = trigger_stash_.find(tag);
+  if (sit != trigger_stash_.end()) {
+    std::deque<proto::Message> pending = std::move(sit->second);
+    trigger_stash_.erase(sit);
+    for (auto& m : pending) accept_message(std::move(m));
+  }
+}
+
+void InicCard::accept_message(proto::Message msg) {
+  if (!is_trigger_tag(msg.tag)) {
+    card_inbox_.send_now(std::move(msg));
+    return;
+  }
+  const std::uint64_t tag = msg.tag;
+  if (triggers_.count(tag) != 0) {
+    fire_trigger(tag, std::move(msg));
+    return;
+  }
+  sim::Engine& eng = node_.engine();
+  if (retired_triggers_.count(tag) != 0) {
+    // Late duplicate of an already-completed trigger (e.g. a fallback
+    // re-carry of a message whose original also landed): swallow it.
+    trigger_dups_.add(eng.now(), 1);
+    tracer().instant(trace::Category::kCollective, node_.id(),
+                     "coll/trigger_late_drop", eng.now());
+    return;
+  }
+  trigger_stash_[tag].push_back(std::move(msg));
+  tracer().instant(trace::Category::kCollective, node_.id(),
+                   "coll/trigger_stash", eng.now());
+}
+
+void InicCard::fire_trigger(std::uint64_t tag, proto::Message msg) {
+  sim::Engine& eng = node_.engine();
+  auto it = triggers_.find(tag);
+  assert(it != triggers_.end());
+  Trigger& trig = it->second;
+  if (!trig.seen_srcs.insert(msg.src).second) {
+    // Second arrival from the same source (fallback duplicate after an
+    // at-least-once re-carry): the combine must run exactly once.
+    trigger_dups_.add(eng.now(), 1);
+    tracer().instant(trace::Category::kCollective, node_.id(),
+                     "coll/trigger_dup_drop", eng.now(), msg.src);
+    return;
+  }
+  assert(trig.remaining > 0);
+  --trig.remaining;
+  const bool last = trig.remaining == 0;
+  trigger_fires_.add(eng.now(), 1);
+  tracer().instant(trace::Category::kCollective, node_.id(),
+                   "coll/trigger_fire", eng.now(),
+                   static_cast<std::int64_t>(trig.remaining));
+  // Retire before invoking: the action may post sends or arm other tags,
+  // and a retired entry must already swallow this tag's late duplicates.
+  TriggerAction action = last ? std::move(trig.action) : trig.action;
+  if (last) {
+    triggers_.erase(it);
+    retired_triggers_.insert(tag);
+  }
+  action(std::move(msg), last);
+}
+
+std::size_t InicCard::stashed_trigger_messages() const {
+  std::size_t n = 0;
+  for (const auto& [tag, q] : trigger_stash_) n += q.size();
+  return n;
 }
 
 void InicCard::send_credit(int dst, std::uint32_t flow, std::uint64_t seq) {

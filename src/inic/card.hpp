@@ -133,6 +133,48 @@ class InicCard : public net::Endpoint {
   sim::Process flush_to_host();
 
   // ------------------------------------------------------------------
+  // Collective trigger primitives
+  // ------------------------------------------------------------------
+  //
+  // A trigger is an armed (tag -> action) entry in a small on-card
+  // table.  When a fully-assembled message with a matching tag arrives,
+  // the card invokes the action directly — no host CPU time is charged
+  // and no interrupt is scheduled.  This is the hardware building block
+  // the NIC-resident collective engine (inic/collective.hpp) composes
+  // into barrier/broadcast/allreduce state machines.
+
+  /// Tags with this bit set are routed through the trigger table instead
+  /// of the host-visible card inbox.  No application tag space uses it.
+  static constexpr std::uint64_t kTriggerTagSpace = 1ULL << 62;
+  static constexpr bool is_trigger_tag(std::uint64_t tag) {
+    return (tag & kTriggerTagSpace) != 0;
+  }
+
+  /// Invoked once per distinct-source matching message; `last` is true on
+  /// the arrival that exhausts the expected count (the trigger retires).
+  using TriggerAction = std::function<void(proto::Message&&, bool last)>;
+
+  /// Arms a trigger: the next `expected` matching messages (one per
+  /// distinct source — duplicates are dropped, giving exactly-once
+  /// combine semantics) each invoke `action`.  Messages that arrived
+  /// before arming are stashed by tag and replayed here.  `tag` must be
+  /// in the trigger tag space and not already armed or retired.
+  void arm_trigger(std::uint64_t tag, std::size_t expected,
+                   TriggerAction action);
+
+  /// Terminal delivery point for fully-received messages (both the card
+  /// datapath and SimCluster's degraded TCP fallback pump land here):
+  /// trigger-space tags match the trigger table; everything else goes to
+  /// card_inbox() exactly as before.
+  void accept_message(proto::Message msg);
+
+  /// Trigger-table introspection (leak checks in tests).
+  std::size_t armed_triggers() const { return triggers_.size(); }
+  std::size_t stashed_trigger_messages() const;
+  std::uint64_t trigger_fires() const { return trigger_fires_.value(); }
+  std::uint64_t trigger_duplicates() const { return trigger_dups_.value(); }
+
+  // ------------------------------------------------------------------
   // Fault / reset handling
   // ------------------------------------------------------------------
 
@@ -187,13 +229,23 @@ class InicCard : public net::Endpoint {
     net::Frame frame;
     Time sent_at;
   };
+  struct Trigger {
+    std::size_t remaining = 0;
+    TriggerAction action;
+    std::set<int> seen_srcs;  // exactly-once per source
+  };
 
   /// Books `size` on a stage resource, plus the shared card bus when the
   /// prototype flag is set; returns the completion time of the later.
   Time book_stage(sim::FifoResource& stage, Bytes size);
 
   trace::Counter& counter(const char* name);
+  trace::Counter& trigger_counter(const char* name);
   trace::Tracer& tracer();
+
+  /// Runs `msg` through the armed trigger at `tag` (dedup, countdown,
+  /// retire-on-exhaustion, action invocation).
+  void fire_trigger(std::uint64_t tag, proto::Message msg);
 
   sim::Semaphore& credits_for(int dst);
   /// Returns a credit that acknowledges one specific burst: (flow, seq)
@@ -246,6 +298,13 @@ class InicCard : public net::Endpoint {
   std::set<std::uint64_t> completed_streams_;
   std::uint64_t next_msg_id_ = 1;
 
+  // Collective trigger table: armed entries, messages that arrived before
+  // their trigger was armed (keyed by tag, FIFO), and retired tags whose
+  // late duplicates must be swallowed rather than stashed forever.
+  std::map<std::uint64_t, Trigger> triggers_;
+  std::map<std::uint64_t, std::deque<proto::Message>> trigger_stash_;
+  std::set<std::uint64_t> retired_triggers_;
+
   // Threshold-batched host delivery state.
   std::map<std::size_t, Bytes> bucket_accumulated_;
   Time last_host_delivery_ = Time::zero();
@@ -273,6 +332,12 @@ class InicCard : public net::Endpoint {
   trace::Counter& reset_dropped_;
   trace::Counter& peer_unreachable_;
   trace::Counter& resets_;
+  // Trigger counters live in Category::kCollective; they only emit trace
+  // records while triggers are actually exercised, so host-backend runs
+  // stay digest-identical.
+  trace::Counter& triggers_armed_;
+  trace::Counter& trigger_fires_;
+  trace::Counter& trigger_dups_;
 };
 
 }  // namespace acc::inic

@@ -1,0 +1,226 @@
+#include "inic/collective.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace acc::inic {
+
+namespace {
+
+using DoubleVec = std::vector<double>;
+
+Bytes vec_bytes(std::size_t elements) {
+  return Bytes(elements * sizeof(double));
+}
+
+// Each collective op owns two tags in the trigger tag space: an up-phase
+// tag (gather/reduce toward the root) and a down-phase tag (release /
+// result broadcast).
+std::uint64_t up_tag(std::uint64_t op_id) {
+  return InicCard::kTriggerTagSpace | (op_id << 1);
+}
+std::uint64_t down_tag(std::uint64_t op_id) {
+  return InicCard::kTriggerTagSpace | (op_id << 1) | 1;
+}
+
+}  // namespace
+
+/// Shared per-op state: triggers capture it by shared_ptr so the action
+/// outlives the host coroutine's stack frame.
+struct CollectiveEngine::OpState {
+  explicit OpState(sim::Engine& eng) : done(eng) {}
+  sim::Event done;
+  DoubleVec acc;            // local contribution, then combined/received
+  Bytes size = Bytes::zero();
+};
+
+CollectiveEngine::CollectiveEngine(InicCard& card, SendFn send)
+    : card_(card), send_(std::move(send)) {}
+
+void CollectiveEngine::post_send(int dst, Bytes size, std::uint64_t tag,
+                                 std::any payload) {
+  auto p = std::make_unique<sim::Process>(
+      send_(dst, size, tag, std::move(payload)));
+  p->start(card_.node().engine());
+  firmware_.push_back(std::move(p));
+}
+
+void CollectiveEngine::prune_firmware() {
+  std::erase_if(firmware_,
+                [](const std::unique_ptr<sim::Process>& p) {
+                  return p->done();
+                });
+}
+
+sim::Process CollectiveEngine::barrier(TreeRole role, std::uint64_t op_id) {
+  prune_firmware();
+  sim::Engine& eng = card_.node().engine();
+  auto st = std::make_shared<OpState>(eng);
+  const std::uint64_t up = up_tag(op_id);
+  const std::uint64_t down = down_tag(op_id);
+  const bool root = role.parent < 0;
+  const Bytes token(8);
+
+  // Release: forward the go token to the subtree, open the local gate.
+  auto release = [this, st, children = role.children, down, token]() {
+    for (int child : children) post_send(child, token, down, std::any{});
+    st->done.trigger();
+  };
+  if (!root) {
+    card_.arm_trigger(down, 1,
+                      [release](proto::Message&&, bool) { release(); });
+  }
+  if (role.children.empty()) {
+    // Leaf arrival: report straight up (root leaf means a 1-rank
+    // barrier — release immediately).
+    if (root) {
+      release();
+    } else {
+      post_send(role.parent, token, up, std::any{});
+    }
+  } else {
+    const int parent = role.parent;
+    card_.arm_trigger(
+        up, role.children.size(),
+        [this, parent, root, release, token, up](proto::Message&&,
+                                                 bool last) {
+          if (!last) return;
+          if (root) {
+            release();
+          } else {
+            post_send(parent, token, up, std::any{});
+          }
+        });
+  }
+  co_await st->done.wait();
+}
+
+sim::Process CollectiveEngine::broadcast(TreeRole role, std::uint64_t op_id,
+                                         std::vector<double>& data) {
+  prune_firmware();
+  sim::Engine& eng = card_.node().engine();
+  auto st = std::make_shared<OpState>(eng);
+  const std::uint64_t tag = down_tag(op_id);
+  const bool root = role.parent < 0;
+  if (root) {
+    st->acc = std::move(data);
+    st->size = vec_bytes(st->acc.size());
+    for (int child : role.children) {
+      post_send(child, st->size, tag, std::any{st->acc});
+    }
+    st->done.trigger();
+  } else {
+    card_.arm_trigger(
+        tag, 1,
+        [this, st, children = role.children, tag](proto::Message&& msg,
+                                                  bool) {
+          st->acc = std::any_cast<DoubleVec>(std::move(msg.payload));
+          st->size = msg.size;
+          // Cut-through: forward down the tree before the host copy.
+          for (int child : children) {
+            post_send(child, st->size, tag, std::any{st->acc});
+          }
+          st->done.trigger();
+        });
+  }
+  co_await st->done.wait();
+  if (!root) co_await card_.dma_to_host(st->size);
+  data = std::move(st->acc);
+}
+
+sim::Process CollectiveEngine::reduce(TreeRole role, std::uint64_t op_id,
+                                      std::vector<double>& data) {
+  prune_firmware();
+  sim::Engine& eng = card_.node().engine();
+  auto st = std::make_shared<OpState>(eng);
+  st->acc = std::move(data);
+  st->size = vec_bytes(st->acc.size());
+  const std::uint64_t up = up_tag(op_id);
+  const bool root = role.parent < 0;
+  const int parent = role.parent;
+
+  auto forward_up = [this, st, parent, root, up]() {
+    if (!root) post_send(parent, st->size, up, std::any{st->acc});
+    st->done.trigger();
+  };
+  if (role.children.empty()) {
+    forward_up();
+  } else {
+    card_.arm_trigger(
+        up, role.children.size(),
+        [st, forward_up](proto::Message&& msg, bool last) {
+          const auto partial =
+              std::any_cast<DoubleVec>(std::move(msg.payload));
+          // On-card combine, in arrival order (like the host backend's
+          // any-child receive loop); charges no CPU time.
+          for (std::size_t i = 0; i < st->acc.size(); ++i) {
+            st->acc[i] += partial[i];
+          }
+          if (last) forward_up();
+        });
+  }
+  co_await st->done.wait();
+  if (root) {
+    co_await card_.dma_to_host(st->size);
+    data = std::move(st->acc);
+  } else {
+    data.clear();
+  }
+}
+
+sim::Process CollectiveEngine::allreduce(TreeRole role, std::uint64_t op_id,
+                                         std::vector<double>& data) {
+  prune_firmware();
+  sim::Engine& eng = card_.node().engine();
+  auto st = std::make_shared<OpState>(eng);
+  st->acc = std::move(data);
+  st->size = vec_bytes(st->acc.size());
+  const std::uint64_t up = up_tag(op_id);
+  const std::uint64_t down = down_tag(op_id);
+  const bool root = role.parent < 0;
+  const int parent = role.parent;
+
+  // Down phase: install the global sum and fan it out.
+  auto deliver_down = [this, st, children = role.children, down]() {
+    for (int child : children) {
+      post_send(child, st->size, down, std::any{st->acc});
+    }
+    st->done.trigger();
+  };
+  if (!root) {
+    card_.arm_trigger(down, 1,
+                      [st, deliver_down](proto::Message&& msg, bool) {
+                        st->acc =
+                            std::any_cast<DoubleVec>(std::move(msg.payload));
+                        deliver_down();
+                      });
+  }
+  // Up phase: combine children partials, then report to the parent (or,
+  // at the root, start the down phase).
+  auto up_complete = [this, st, parent, root, up, deliver_down]() {
+    if (root) {
+      deliver_down();
+    } else {
+      post_send(parent, st->size, up, std::any{st->acc});
+    }
+  };
+  if (role.children.empty()) {
+    up_complete();
+  } else {
+    card_.arm_trigger(
+        up, role.children.size(),
+        [st, up_complete](proto::Message&& msg, bool last) {
+          const auto partial =
+              std::any_cast<DoubleVec>(std::move(msg.payload));
+          for (std::size_t i = 0; i < st->acc.size(); ++i) {
+            st->acc[i] += partial[i];
+          }
+          if (last) up_complete();
+        });
+  }
+  co_await st->done.wait();
+  co_await card_.dma_to_host(st->size);
+  data = std::move(st->acc);
+}
+
+}  // namespace acc::inic

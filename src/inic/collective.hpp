@@ -1,0 +1,85 @@
+// NIC-resident collective state machines (barrier / broadcast /
+// allreduce) built on InicCard's trigger primitives.
+//
+// The model follows Yu et al.'s NIC-based collective protocol: each card
+// holds one role of a topology-aware binomial tree, and the per-hop
+// forward/combine steps run on the card the moment a matching message
+// finishes assembly — no host CPU time is charged and no interrupt is
+// raised anywhere on the path.  The host rank only (a) kicks the
+// operation off by arming its card's triggers and posting its own
+// contribution, and (b) awaits the completion event; for data-bearing
+// ops it additionally pays the final card-to-host DMA of the result.
+//
+// Sends go through a SendFn supplied by SimCluster (bound to
+// SimCluster::transfer), so a card lost to a reset window transparently
+// re-carries its forwards over the degraded TCP fallback plane.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "inic/card.hpp"
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+
+namespace acc::inic {
+
+/// One card's role in a binomial spanning tree: physical parent id (-1
+/// at the root) and physical children ids in ascending-mask order.
+struct TreeRole {
+  int parent = -1;
+  std::vector<int> children;
+};
+
+class CollectiveEngine {
+ public:
+  /// Posts one message toward `dst`; SimCluster binds this to
+  /// transfer(), which falls back to TCP when the INIC path is down.
+  using SendFn = std::function<sim::Process(int dst, Bytes size,
+                                            std::uint64_t tag,
+                                            std::any payload)>;
+
+  CollectiveEngine(InicCard& card, SendFn send);
+  CollectiveEngine(const CollectiveEngine&) = delete;
+  CollectiveEngine& operator=(const CollectiveEngine&) = delete;
+
+  /// Tree barrier: the returned process completes when the card receives
+  /// the release token (root: when every subtree has reported in).  The
+  /// up/down tokens are 8-byte frames walked entirely on-card.
+  sim::Process barrier(TreeRole role, std::uint64_t op_id);
+
+  /// Binomial broadcast of root's `data`; on non-roots `data` is
+  /// replaced by the received payload after the final card-to-host DMA.
+  sim::Process broadcast(TreeRole role, std::uint64_t op_id,
+                         std::vector<double>& data);
+
+  /// Tree reduce toward the root: children partials are summed on the
+  /// card in arrival order.  The root ends with the global sum in
+  /// `data`; other ranks surrender their buffer (cleared), matching the
+  /// host backend's reduce contract.
+  sim::Process reduce(TreeRole role, std::uint64_t op_id,
+                      std::vector<double>& data);
+
+  /// Reduce up + broadcast down: every rank ends with the root's sum.
+  sim::Process allreduce(TreeRole role, std::uint64_t op_id,
+                         std::vector<double>& data);
+
+ private:
+  struct OpState;
+
+  /// Fires a detached forward send from the card; the Process wrapper is
+  /// parked in firmware_ so its frame outlives the caller.
+  void post_send(int dst, Bytes size, std::uint64_t tag, std::any payload);
+  void prune_firmware();
+
+  InicCard& card_;
+  SendFn send_;
+  // Detached in-flight forwards (the "firmware" activity of this card).
+  std::vector<std::unique_ptr<sim::Process>> firmware_;
+};
+
+}  // namespace acc::inic

@@ -161,7 +161,107 @@ RunMetrics topology_metrics(const net::TopologyConfig& topo, std::size_t p) {
   return m;
 }
 
+/// One collectives-suite point: barrier + topology-aware allreduce on a
+/// cluster wired as `topo`, with the collective backend under test.
+/// The host backend runs over GigE TCP (the paper's software baseline);
+/// the NIC backend runs on the ideal INIC whose cards host the trigger
+/// tables.  The unbounded tracer ring lets us count every kCpu / kIrq
+/// record the run emitted — the host-cost signal the NIC engine is
+/// supposed to drive to zero.
+RunMetrics collective_metrics(apps::CollectiveBackend backend,
+                              const net::TopologyConfig& topo,
+                              std::size_t p, std::size_t elements) {
+  apps::ClusterOptions opts;
+  opts.topology = topo;
+  opts.collective_backend = backend;
+  const auto ic = backend == apps::CollectiveBackend::kNic
+                      ? apps::Interconnect::kInicIdeal
+                      : apps::Interconnect::kGigabitTcp;
+  apps::SimCluster cluster(p, ic, model::default_calibration(), opts);
+  cluster.tracer().enable(/*ring_capacity=*/0);  // retain all records
+  const auto bar = coll::barrier(cluster);
+  const auto red = coll::topology_allreduce(cluster, elements, /*seed=*/7);
+  if (!bar.verified || !red.verified) {
+    throw std::runtime_error("collective failed verification");
+  }
+  std::int64_t host_cpu_events = 0;
+  std::int64_t irq_events = 0;
+  for (const auto& r : cluster.tracer().records()) {
+    if (r.category == trace::Category::kCpu) ++host_cpu_events;
+    if (r.category == trace::Category::kIrq) ++irq_events;
+  }
+  std::int64_t irq_delivered = 0;
+  std::int64_t host_cpu_ns = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    hw::Cpu& cpu = cluster.node(i).cpu();
+    irq_delivered += static_cast<std::int64_t>(cpu.interrupts_serviced());
+    host_cpu_ns += cpu.total_compute_time().as_nanos() +
+                   cpu.total_interrupt_time().as_nanos() +
+                   cpu.total_protocol_time().as_nanos();
+  }
+  std::int64_t trigger_fires = 0;
+  if (backend == apps::CollectiveBackend::kNic) {
+    for (std::size_t i = 0; i < p; ++i) {
+      trigger_fires +=
+          static_cast<std::int64_t>(cluster.card(i).trigger_fires());
+    }
+  }
+  RunMetrics m;
+  // ProcessGroup::join() reports absolute finish times, so the second
+  // op's total is the whole timeline; the barrier column is its own.
+  m.sim_time = red.total;
+  m.counters = {{"barrier_ns", bar.total.as_nanos()},
+                {"allreduce_ns", (red.total - bar.total).as_nanos()},
+                {"host_cpu_events", host_cpu_events},
+                {"irq_events", irq_events},
+                {"irq_delivered", irq_delivered},
+                {"host_cpu_ns", host_cpu_ns},
+                {"trigger_fires", trigger_fires}};
+  capture_run(cluster, m);
+  return m;
+}
+
 }  // namespace
+
+std::vector<RunPoint> collective_points(bool reduced) {
+  struct Grid {
+    const char* label;   // "topology" param
+    net::TopologyConfig config;
+    std::size_t p;
+    bool full_only;
+  };
+  const std::vector<Grid> grid = {
+      {"star", net::TopologyConfig::star(), 8, false},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 16, false},
+      {"torus2", net::TopologyConfig::torus(2), 16, false},
+      {"star", net::TopologyConfig::star(), 16, true},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 64, true},
+      {"fattree3", net::TopologyConfig::fat_tree(3), 16, true},
+      {"torus3", net::TopologyConfig::torus(3), 27, true},
+  };
+  constexpr std::size_t kElements = 256;
+  std::vector<RunPoint> points;
+  for (const auto& g : grid) {
+    if (reduced && g.full_only) continue;
+    for (auto backend : {apps::CollectiveBackend::kHost,
+                         apps::CollectiveBackend::kNic}) {
+      const net::TopologyConfig topo = g.config;
+      const std::size_t p = g.p;
+      points.push_back(RunPoint{
+          "collectives",
+          std::string(apps::to_string(backend)) + "/" + g.label +
+              "/P=" + num(p),
+          {{"collective_backend", apps::to_string(backend)},
+           {"topology", g.label},
+           {"P", num(p)},
+           {"elements", num(kElements)}},
+          [backend, topo, p] {
+            return collective_metrics(backend, topo, p, kElements);
+          }});
+    }
+  }
+  return points;
+}
 
 std::vector<RunPoint> topology_scaling_points(bool reduced) {
   struct Grid {
@@ -303,6 +403,11 @@ std::vector<RunPoint> figure_sweep_points(bool reduced) {
   // in the full grid; reduced keeps P <= 256 so CI and the TSan sweep
   // stay fast).
   for (auto& point : topology_scaling_points(reduced)) {
+    points.push_back(std::move(point));
+  }
+
+  // Collectives: host/TCP vs NIC-resident backend over the fabric grid.
+  for (auto& point : collective_points(reduced)) {
     points.push_back(std::move(point));
   }
 

@@ -41,4 +41,13 @@ std::vector<RunPoint> figure_sweep_points(bool reduced);
 /// bench/fig_scaling_topology driver can run just this grid.
 std::vector<RunPoint> topology_scaling_points(bool reduced);
 
+/// The collectives suite on its own: backend (host/TCP vs NIC-resident)
+/// × topology × rank-count grid, barrier + topology-aware allreduce per
+/// point.  Counters expose the host-cost split the NIC engine is meant
+/// to eliminate — traced CPU/IRQ event counts, interrupts delivered,
+/// summed host CPU nanoseconds — plus the trigger-fire tally on the
+/// card plane.  Included in figure_sweep_points; exposed separately so
+/// the bench/collectives_compare driver can run just this grid.
+std::vector<RunPoint> collective_points(bool reduced);
+
 }  // namespace acc::runner

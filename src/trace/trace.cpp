@@ -20,6 +20,7 @@ const char* to_string(Category c) {
     case Category::kInic: return "inic";
     case Category::kApp: return "app";
     case Category::kFault: return "fault";
+    case Category::kCollective: return "collective";
   }
   return "?";
 }

@@ -51,6 +51,7 @@ enum class Category : std::uint8_t {
   kInic,         // INIC offload phases
   kApp,          // application phases
   kFault,        // injected faults (src/fault/) and recovery milestones
+  kCollective,   // on-card collective triggers (arm/fire/forward)
 };
 
 const char* to_string(Category c);

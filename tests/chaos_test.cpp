@@ -12,8 +12,10 @@
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
+#include "collectives/collectives.hpp"
 #include "fault/fault.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
 
 namespace acc {
 namespace {
@@ -186,6 +188,147 @@ TEST(Chaos, DigestTracksFaultPlanSeed) {
   // Different loss/corruption streams must reshuffle recovery timing.
   EXPECT_NE(a.digest, b.digest);
 #endif
+}
+
+// ---------------------------------------------------------------------
+// NIC-backend collectives under the storm: bursty loss, an interior
+// fat-tree link outage, and a card reset opening mid-collective.  The
+// on-card state machines must complete via the degraded TCP fallback,
+// with exactly-once combine semantics (a double-counted partial would
+// fail the allreduce sum check) and no state left in the trigger tables.
+// ---------------------------------------------------------------------
+
+apps::ClusterOptions nic_collective_chaos_options() {
+  apps::ClusterOptions opts = chaos_options();
+  opts.collective_backend = apps::CollectiveBackend::kNic;
+  opts.topology = net::TopologyConfig::fat_tree(2);
+  return opts;
+}
+
+constexpr std::size_t kCollectiveChaosRanks = 16;
+constexpr std::size_t kCollectiveChaosElements = 512;
+
+/// Healthy end-to-end time of the barrier + allreduce + broadcast
+/// sequence (ops run back-to-back, so the last op's absolute finish time
+/// is the timeline length the fault windows are placed against).
+Time clean_collective_total() {
+  static const Time total = [] {
+    apps::SimCluster cluster(kCollectiveChaosRanks,
+                             apps::Interconnect::kInicIdeal,
+                             model::default_calibration(),
+                             nic_collective_chaos_options());
+    EXPECT_TRUE(coll::barrier(cluster).verified);
+    EXPECT_TRUE(
+        coll::topology_allreduce(cluster, kCollectiveChaosElements, 5)
+            .verified);
+    return coll::topology_broadcast(cluster, kCollectiveChaosElements, 6)
+        .total;
+  }();
+  return total;
+}
+
+ChaosOutcome chaos_nic_collective_run(std::uint64_t fault_seed) {
+  apps::SimCluster cluster(kCollectiveChaosRanks,
+                           apps::Interconnect::kInicIdeal,
+                           model::default_calibration(),
+                           nic_collective_chaos_options());
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  cluster.engine().set_time_budget(Time::seconds(5));
+  const double t = clean_collective_total().as_seconds();
+  auto at = [t](double f) { return Time::seconds(t * f); };
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.5;
+  // Edge switch loses one spine uplink mid-run (first interior link of
+  // the fat tree); routes re-cost around it.
+  const auto links = cluster.network().interior_link_stats();
+  if (links.empty()) throw std::runtime_error("fat tree lost its links?");
+  fault::FaultPlan plan;
+  plan.with_seed(fault_seed)
+      .with_burst_loss(at(0.05), at(3.0), ge)
+      .with_interior_link_down(links.front().from_switch,
+                               links.front().to_switch, at(0.20), at(0.30))
+      // A card resets right at the start: the barrier is mid-flight, so
+      // its tokens must re-carry over the degraded TCP plane.
+      .with_card_reset(2, Time::zero(), at(0.50));
+  fault::FaultInjector injector(cluster, plan);
+
+  const auto bar = coll::barrier(cluster);
+  const auto ar =
+      coll::topology_allreduce(cluster, kCollectiveChaosElements, 5);
+  const auto bc =
+      coll::topology_broadcast(cluster, kCollectiveChaosElements, 6);
+
+  ChaosOutcome out;
+  out.verified = bar.verified && ar.verified && bc.verified;
+  out.total = bc.total;
+  out.digest = cluster.tracer().digest();
+  out.records = cluster.tracer().records_emitted();
+  out.fallback = cluster.fallback_transfers();
+  out.fault_events = injector.events_fired();
+  out.net_drops = cluster.network().frames_dropped();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    out.retransmits += cluster.card(i).retransmits();
+    out.crc_drops += cluster.card(i).crc_drops();
+    // No leaked trigger state, even after a faulted run.
+    EXPECT_EQ(cluster.card(i).armed_triggers(), 0u) << "node " << i;
+    EXPECT_EQ(cluster.card(i).stashed_trigger_messages(), 0u)
+        << "node " << i;
+  }
+  return out;
+}
+
+TEST(Chaos, NicCollectivesSurviveTheStormExactlyOnce) {
+  const auto out = chaos_nic_collective_run(/*fault_seed=*/55);
+  // verified covers the exactly-once contract: a replayed partial would
+  // double-count into the allreduce sum and fail the element check.
+  EXPECT_TRUE(out.verified);
+  // Burst loss (2 edges) + interior link down (2) + card reset (1).
+  EXPECT_EQ(out.fault_events, 5u);
+  EXPECT_GT(out.fallback, 0u);  // the resetting card rerouted over TCP
+  EXPECT_GT(out.net_drops, 0u);
+  // Surviving the storm costs time over the healthy run.
+  EXPECT_GT(out.total.as_seconds(), clean_collective_total().as_seconds());
+}
+
+TEST(Chaos, NicCollectiveStormReplaysDigestIdentically) {
+  const auto a = chaos_nic_collective_run(/*fault_seed=*/55);
+  const auto b = chaos_nic_collective_run(/*fault_seed=*/55);
+  EXPECT_EQ(a.total, b.total);
+#ifndef ACC_TRACE_DISABLED
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.digest, b.digest);
+#endif
+}
+
+TEST(Chaos, NicCollectiveDigestTracksFaultPlanSeed) {
+  const auto a = chaos_nic_collective_run(/*fault_seed=*/55);
+  const auto b = chaos_nic_collective_run(/*fault_seed=*/56);
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+#ifndef ACC_TRACE_DISABLED
+  EXPECT_NE(a.digest, b.digest);
+#endif
+}
+
+TEST(DegradedMode, NicBarrierCompletesThroughAMidCollectiveCardReset) {
+  // One fault only: a card reset opening at t = 0 and outlasting the
+  // whole healthy barrier, so every token touching node 2 must take the
+  // fallback plane.
+  apps::SimCluster cluster(kCollectiveChaosRanks,
+                           apps::Interconnect::kInicIdeal,
+                           model::default_calibration(),
+                           nic_collective_chaos_options());
+  cluster.engine().set_time_budget(Time::seconds(5));
+  fault::FaultPlan plan;
+  plan.with_card_reset(2, Time::zero(), clean_collective_total() * 2.0);
+  fault::FaultInjector injector(cluster, plan);
+  const auto result = coll::barrier(cluster);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(cluster.fallback_transfers(), 0u);
+  EXPECT_EQ(injector.events_fired(), 1u);
 }
 
 // ---------------------------------------------------------------------

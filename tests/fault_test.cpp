@@ -335,6 +335,135 @@ TEST(InicFaults, RetransmitBackoffSlowsRetryRounds) {
 }
 
 // ---------------------------------------------------------------------
+// Collective trigger primitives (the NIC-resident collective building
+// block): arm/fire, stash-before-arm, per-source dedup, retired-tag
+// late-duplicate swallowing — all without host CPU or IRQ cost.
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kTag = inic::InicCard::kTriggerTagSpace | 0x42;
+
+sim::Process stream_to(inic::InicCard& card, int dst, std::uint64_t tag) {
+  co_await card.send_stream(dst, Bytes(64), tag, std::any{});
+}
+
+TEST(InicTriggers, ArmedTriggerFiresOnArrivalWithoutHostCost) {
+  InicPairRig rig;
+  int fires = 0;
+  bool saw_last = false;
+  rig.card_b->arm_trigger(kTag, 1,
+                          [&](proto::Message&& msg, bool last) {
+                            ++fires;
+                            saw_last = last;
+                            EXPECT_EQ(msg.src, 0);
+                            EXPECT_EQ(msg.tag, kTag);
+                          });
+  EXPECT_EQ(rig.card_b->armed_triggers(), 1u);
+
+  sim::ProcessGroup group(rig.eng);
+  group.spawn(stream_to(*rig.card_a, 1, kTag));
+  group.join();
+
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(saw_last);
+  EXPECT_EQ(rig.card_b->armed_triggers(), 0u);
+  EXPECT_EQ(rig.card_b->trigger_fires(), 1u);
+  // The defining property: the trigger path schedules no host work.
+  EXPECT_EQ(rig.node_b->cpu().total_compute_time(), Time::zero());
+  EXPECT_EQ(rig.node_b->cpu().interrupts_serviced(), 0u);
+}
+
+TEST(InicTriggers, EarlyMessageIsStashedUntilArmed) {
+  InicPairRig rig;
+  sim::ProcessGroup group(rig.eng);
+  group.spawn(stream_to(*rig.card_a, 1, kTag));
+  group.join();  // message fully arrived before any trigger exists
+
+  EXPECT_EQ(rig.card_b->armed_triggers(), 0u);
+  EXPECT_EQ(rig.card_b->stashed_trigger_messages(), 1u);
+
+  int fires = 0;
+  rig.card_b->arm_trigger(kTag, 1,
+                          [&](proto::Message&&, bool) { ++fires; });
+  // Arming replays the stash synchronously.
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(rig.card_b->stashed_trigger_messages(), 0u);
+  EXPECT_EQ(rig.card_b->armed_triggers(), 0u);
+}
+
+TEST(InicTriggers, DuplicateSourceCombinesExactlyOnce) {
+  // Three cards: the target expects one message from each of two
+  // sources; one source double-sends (modeling a fallback re-carry).
+  sim::Engine eng;
+  net::Network network(eng, 3);
+  hw::Node node_a(eng, 0), node_b(eng, 1), node_c(eng, 2);
+  inic::InicCard card_a(node_a, network, inic::InicConfig::ideal());
+  inic::InicCard card_b(node_b, network, inic::InicConfig::ideal());
+  inic::InicCard card_c(node_c, network, inic::InicConfig::ideal());
+
+  int fires = 0;
+  bool last_on_second_source = false;
+  card_c.arm_trigger(kTag, 2, [&](proto::Message&& msg, bool last) {
+    ++fires;
+    if (last) last_on_second_source = msg.src == 1;
+  });
+
+  sim::ProcessGroup group(eng);
+  group.spawn(stream_to(card_a, 2, kTag));
+  group.spawn(stream_to(card_a, 2, kTag));  // duplicate from the same src
+  group.spawn(stream_to(card_b, 2, kTag));
+  group.join();
+
+  EXPECT_EQ(fires, 2);  // once per distinct source
+  EXPECT_TRUE(last_on_second_source);
+  EXPECT_EQ(card_c.trigger_duplicates(), 1u);
+  EXPECT_EQ(card_c.armed_triggers(), 0u);
+  EXPECT_EQ(card_c.stashed_trigger_messages(), 0u);
+}
+
+TEST(InicTriggers, RetiredTagSwallowsLateDuplicates) {
+  InicPairRig rig;
+  rig.card_b->arm_trigger(kTag, 1, [](proto::Message&&, bool) {});
+  sim::ProcessGroup first(rig.eng);
+  first.spawn(stream_to(*rig.card_a, 1, kTag));
+  first.join();
+  EXPECT_EQ(rig.card_b->armed_triggers(), 0u);
+
+  // A second arrival on the retired tag must be dropped, not stashed.
+  sim::ProcessGroup second(rig.eng);
+  second.spawn(stream_to(*rig.card_a, 1, kTag));
+  second.join();
+  EXPECT_EQ(rig.card_b->stashed_trigger_messages(), 0u);
+  EXPECT_EQ(rig.card_b->trigger_duplicates(), 1u);
+  EXPECT_TRUE(rig.card_b->card_inbox().empty());
+}
+
+TEST(InicTriggers, NonTriggerTagsStillReachTheCardInbox) {
+  InicPairRig rig;
+  rig.card_b->arm_trigger(kTag, 1, [](proto::Message&&, bool) {});
+  sim::ProcessGroup group(rig.eng);
+  group.spawn(stream_to(*rig.card_a, 1, /*tag=*/7));
+  group.join();
+  // An ordinary message flows past the trigger table untouched.
+  EXPECT_EQ(rig.card_b->card_inbox().size(), 1u);
+  EXPECT_EQ(rig.card_b->armed_triggers(), 1u);
+  EXPECT_EQ(rig.card_b->trigger_fires(), 0u);
+}
+
+TEST(InicTriggers, RejectsInvalidArms) {
+  InicPairRig rig;
+  EXPECT_THROW(rig.card_a->arm_trigger(/*tag=*/7, 1,
+                                       [](proto::Message&&, bool) {}),
+               std::invalid_argument);
+  EXPECT_THROW(rig.card_a->arm_trigger(kTag, 0,
+                                       [](proto::Message&&, bool) {}),
+               std::invalid_argument);
+  rig.card_a->arm_trigger(kTag, 1, [](proto::Message&&, bool) {});
+  EXPECT_THROW(rig.card_a->arm_trigger(kTag, 1,
+                                       [](proto::Message&&, bool) {}),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------
 // FaultInjector: plan validation and event arming
 // ---------------------------------------------------------------------
 

@@ -7,8 +7,10 @@
 
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
+#include "collectives/collectives.hpp"
 #include "core/report.hpp"
 #include "model/fft_model.hpp"
+#include "net/topology.hpp"
 
 namespace acc {
 namespace {
@@ -125,6 +127,31 @@ TEST(Integration, GoldenTraceDigestForSmallFft) {
   EXPECT_EQ(cluster.tracer().digest(), kPinnedDigest)
       << "actual digest: 0x" << actual
       << " — see the re-pin instructions in this test";
+}
+
+TEST(Integration, GoldenTraceDigestForNicCollectives) {
+  // Companion pin for the NIC-resident collective plane: a canonical
+  // barrier + allreduce on a 2-level fat tree with the kNic backend,
+  // collapsed to its digest.  Trigger arms, on-card combines, tree
+  // forwards and the completion DMAs are all inside this stream, so any
+  // drift in the trigger table or CollectiveEngine scheduling trips it.
+  // Re-pin procedure as in GoldenTraceDigestForSmallFft.
+  apps::ClusterOptions copts;
+  copts.topology = net::TopologyConfig::fat_tree(2);
+  copts.collective_backend = apps::CollectiveBackend::kNic;
+  apps::SimCluster cluster(8, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), copts);
+  cluster.tracer().enable(/*ring_capacity=*/64);
+  EXPECT_TRUE(coll::barrier(cluster).verified);
+  EXPECT_TRUE(coll::topology_allreduce(cluster, 128, /*seed=*/5).verified);
+
+  const std::uint64_t kPinnedDigest = 0x3bae27708df7a5e7ULL;
+  char actual[17];
+  std::snprintf(actual, sizeof actual, "%016llx",
+                static_cast<unsigned long long>(cluster.tracer().digest()));
+  EXPECT_EQ(cluster.tracer().digest(), kPinnedDigest)
+      << "actual digest: 0x" << actual
+      << " — see the re-pin instructions in GoldenTraceDigestForSmallFft";
 }
 
 TEST(Integration, ReportCarriesTraceDigestAndCounters) {

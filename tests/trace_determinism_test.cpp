@@ -13,9 +13,11 @@
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
+#include "collectives/collectives.hpp"
 #include "fault/fault.hpp"
 #include "model/calibration.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
 #include "trace/trace.hpp"
 
 namespace acc {
@@ -101,6 +103,55 @@ RunSummary traced_faulted_fft_run(std::uint64_t fault_seed) {
           result.total};
 }
 
+// NIC-plane collectives: barrier + allreduce + broadcast walked
+// entirely on the cards (trigger arms, on-card combines, tree
+// forwards).  The whole trigger pipeline must replay bit-for-bit.
+RunSummary traced_nic_collective_run(std::uint64_t data_seed) {
+  apps::ClusterOptions opts;
+  opts.topology = net::TopologyConfig::fat_tree(2);
+  opts.collective_backend = apps::CollectiveBackend::kNic;
+  apps::SimCluster cluster(8, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), opts);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  EXPECT_TRUE(coll::barrier(cluster).verified);
+  EXPECT_TRUE(coll::topology_allreduce(cluster, 128, data_seed).verified);
+  const auto bcast = coll::topology_broadcast(cluster, 128, data_seed + 1);
+  EXPECT_TRUE(bcast.verified);
+  return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
+          bcast.total};
+}
+
+// Faulted NIC collective: burst loss plus a mid-collective card reset
+// over the same fat tree.  Recovery (retransmits, degraded TCP
+// re-carries, duplicate swallowing at the trigger tables) is part of
+// the replayed event stream.
+RunSummary traced_faulted_nic_collective_run(std::uint64_t fault_seed) {
+  apps::ClusterOptions opts;
+  opts.topology = net::TopologyConfig::fat_tree(2);
+  opts.collective_backend = apps::CollectiveBackend::kNic;
+  opts.inic_hw_retransmit = true;
+  opts.inic_max_retries = 16;
+  opts.degraded_fallback = true;
+  apps::SimCluster cluster(8, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), opts);
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.5;
+  fault::FaultPlan plan;
+  plan.with_seed(fault_seed)
+      .with_burst_loss(Time::micros(10), Time::millis(50), ge)
+      .with_card_reset(2, Time::zero(), Time::micros(500));
+  fault::FaultInjector injector(cluster, plan);
+  EXPECT_TRUE(coll::barrier(cluster).verified);
+  const auto result = coll::topology_allreduce(cluster, 256, /*seed=*/5);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(injector.events_fired(), 0u);
+  return {cluster.tracer().digest(), cluster.tracer().records_emitted(),
+          result.total};
+}
+
 // ---------------------------------------------------------------------
 // Same seed twice -> identical digest (per interconnect family)
 // ---------------------------------------------------------------------
@@ -168,6 +219,24 @@ TEST(TraceDeterminism, FaultInjectedSameSeedReplaysIdentically) {
   EXPECT_EQ(a.digest, b.digest);
 }
 
+TEST(TraceDeterminism, NicCollectiveSameSeedReplaysIdentically) {
+  const auto a = traced_nic_collective_run(/*data_seed=*/5);
+  const auto b = traced_nic_collective_run(/*data_seed=*/5);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, FaultedNicCollectiveSameSeedReplaysIdentically) {
+  const auto a = traced_faulted_nic_collective_run(/*fault_seed=*/21);
+  const auto b = traced_faulted_nic_collective_run(/*fault_seed=*/21);
+  ASSERT_GT(a.records, 0u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
 // ---------------------------------------------------------------------
 // Seed sweeps -> digests move with the seed
 // ---------------------------------------------------------------------
@@ -216,6 +285,25 @@ TEST(TraceDeterminism, FftDigestIsDataIndependent) {
       traced_fft_run(apps::Interconnect::kGigabitTcp, 4, 64, /*seed=*/42);
   const auto b =
       traced_fft_run(apps::Interconnect::kGigabitTcp, 4, 64, /*seed=*/43);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, NicCollectiveDigestTracksFaultSeed) {
+  // Same windows, different Gilbert–Elliott content: which collective
+  // frames die (and therefore which trigger re-carries happen) must
+  // follow the plan seed.
+  const auto a = traced_faulted_nic_collective_run(/*fault_seed=*/21);
+  const auto b = traced_faulted_nic_collective_run(/*fault_seed=*/22);
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(TraceDeterminism, NicCollectiveDigestIsDataIndependent) {
+  // The NIC collective schedule depends only on (topology, P, elements):
+  // payload *values* ride in std::any and never touch timing, so a
+  // different data seed must NOT move the digest.  Mirrors
+  // FftDigestIsDataIndependent for the on-card plane.
+  const auto a = traced_nic_collective_run(/*data_seed=*/5);
+  const auto b = traced_nic_collective_run(/*data_seed=*/6);
   EXPECT_EQ(a.digest, b.digest);
 }
 
