@@ -1,144 +1,143 @@
-// Recovery-cost bench: how much simulated time each class of injected
+// Recovery-cost sweep: how much simulated time each class of injected
 // fault adds to the distributed FFT and sort on an INIC cluster, with
 // hardware go-back-N and the degraded-mode TCP fallback enabled.
 //
-// One row per fault scenario, one column per application; every run
-// verifies its result, so the table also certifies that recovery is
-// correct, not just that it terminates.
+// One point per (app, fault scenario); every run verifies its result,
+// so the table also certifies that recovery is correct, not just that
+// it terminates.  The grid lives in runner::chaos_recovery_points and
+// executes on the SweepRunner pool, emitting the same schema-v2
+// BENCH_results.json as the other sweep drivers (it also rides in
+// bench_all's full sweep as the chaos_recovery suite).
+//
+// Usage:
+//   chaos_recovery [--threads=N] [--points=full|reduced]
+//                  [--out=PATH] [--check-digests]
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "core/acc.hpp"
+#include "common/table.hpp"
+#include "runner/bench_json.hpp"
+#include "runner/bench_points.hpp"
+#include "runner/sweep.hpp"
 
 using namespace acc;
 
 namespace {
 
-constexpr std::size_t kNodes = 4;
-constexpr std::size_t kFftN = 256;
-constexpr std::size_t kSortKeys = std::size_t{1} << 16;
-
-apps::ClusterOptions hardened_options() {
-  apps::ClusterOptions opts;
-  opts.inic_hw_retransmit = true;
-  opts.inic_max_retries = 16;
-  opts.degraded_fallback = true;
-  return opts;
-}
-
-apps::SimCluster make_cluster() {
-  return apps::SimCluster(kNodes, apps::Interconnect::kInicIdeal,
-                          model::default_calibration(), hardened_options());
-}
-
-struct Scenario {
-  const char* name;
-  // Builds the plan from the clean-run duration of the app under test.
-  fault::FaultPlan (*plan)(Time clean);
+struct Options {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool reduced = false;
+  bool check_digests = false;
+  std::string out = "BENCH_results.json";
 };
 
-fault::FaultPlan plan_none(Time) { return {}; }
-
-fault::FaultPlan plan_burst_loss(Time clean) {
-  fault::GilbertElliottParams ge;
-  ge.p_good_to_bad = 0.05;
-  ge.p_bad_to_good = 0.25;
-  ge.loss_bad = 0.5;
-  fault::FaultPlan plan;
-  plan.with_burst_loss(clean * 0.05, clean * 3.0, ge);
-  return plan;
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--points=reduced") {
+      opts.reduced = true;
+    } else if (arg == "--points=full") {
+      opts.reduced = false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out = arg.substr(6);
+    } else if (arg == "--check-digests") {
+      opts.check_digests = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
-fault::FaultPlan plan_corruption(Time clean) {
-  fault::FaultPlan plan;
-  plan.with_corruption(clean * 0.05, clean * 3.0, 0.05);
-  return plan;
-}
-
-fault::FaultPlan plan_link_flap(Time clean) {
-  fault::FaultPlan plan;
-  plan.with_link_down(1, clean * 0.30, clean * 0.05);
-  return plan;
-}
-
-fault::FaultPlan plan_card_reset(Time clean) {
-  fault::FaultPlan plan;
-  plan.with_card_reset(2, clean * 0.10, clean * 0.25);
-  return plan;
-}
-
-fault::FaultPlan plan_slow_port(Time clean) {
-  fault::FaultPlan plan;
-  plan.with_port_degrade(1, clean * 0.10, clean * 0.60, /*rate_factor=*/0.1);
-  return plan;
-}
-
-fault::FaultPlan plan_everything(Time clean) {
-  fault::FaultPlan plan = plan_burst_loss(clean);
-  plan.with_corruption(clean * 0.05, clean * 3.0, 0.05)
-      .with_link_down(1, clean * 0.40, clean * 0.05)
-      .with_card_reset(2, clean * 0.10, clean * 0.25);
-  return plan;
-}
-
-constexpr Scenario kScenarios[] = {
-    {"clean", plan_none},
-    {"bursty loss (~10%)", plan_burst_loss},
-    {"corruption (5%)", plan_corruption},
-    {"link flap (5% of run)", plan_link_flap},
-    {"card reset (25% of run)", plan_card_reset},
-    {"port at 10% rate", plan_slow_port},
-    {"all of the above", plan_everything},
-};
-
-Time run_fft(const fault::FaultPlan& plan, bool* ok) {
-  apps::SimCluster cluster = make_cluster();
-  cluster.engine().set_time_budget(Time::seconds(30));
-  fault::FaultInjector injector(cluster, plan);
-  apps::FftRunOptions opts;
-  opts.verify = true;
-  const auto r = run_parallel_fft(cluster, kFftN, opts);
-  *ok = r.verified;
-  return r.total;
-}
-
-Time run_sort(const fault::FaultPlan& plan, bool* ok) {
-  apps::SimCluster cluster = make_cluster();
-  cluster.engine().set_time_budget(Time::seconds(30));
-  fault::FaultInjector injector(cluster, plan);
-  apps::SortRunOptions opts;
-  opts.verify = true;
-  const auto r = run_parallel_sort(cluster, kSortKeys, opts);
-  *ok = r.verified;
-  return r.total;
+std::int64_t counter(const runner::RunRecord& r, const char* name) {
+  for (const auto& [key, value] : r.metrics.counters) {
+    if (key == name) return value;
+  }
+  return 0;
 }
 
 }  // namespace
 
-int main() {
-  print_banner("Recovery cost under injected faults (INIC, hardened)");
-  std::printf("%zu nodes, FFT %zux%zu, sort %zu keys; every cell verified\n\n",
-              kNodes, kFftN, kFftN, kSortKeys);
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
 
-  bool ok = true;
-  const Time fft_clean = run_fft({}, &ok);
-  const Time sort_clean = run_sort({}, &ok);
+  const auto points = runner::chaos_recovery_points(opts.reduced);
+  runner::SweepRunner pool(opts.threads);
+  print_banner("chaos_recovery: " + std::to_string(points.size()) +
+               " points (" + std::string(opts.reduced ? "reduced" : "full") +
+               ") on " + std::to_string(pool.threads()) + " threads");
+  const auto results = pool.run(points);
 
-  Table table({"scenario", "fft ms", "fft slowdown", "sort ms",
-               "sort slowdown", "result"});
-  bool all_ok = true;
-  for (const Scenario& s : kScenarios) {
-    bool fft_ok = false, sort_ok = false;
-    const Time fft_t = run_fft(s.plan(fft_clean), &fft_ok);
-    const Time sort_t = run_sort(s.plan(sort_clean), &sort_ok);
-    all_ok = all_ok && fft_ok && sort_ok;
-    table.row()
-        .add(s.name)
-        .add(fft_t.as_millis(), 3)
-        .add(fft_t.as_seconds() / fft_clean.as_seconds(), 2)
-        .add(sort_t.as_millis(), 3)
-        .add(sort_t.as_seconds() / sort_clean.as_seconds(), 2)
-        .add(fft_ok && sort_ok ? "verified" : "WRONG");
+  Table table({"point", "clean (ms)", "faulted (ms)", "slowdown",
+               "fallback", "retransmits", "crc drops", "digest"});
+  int failed = 0;
+  for (const auto& r : results) {
+    table.row().add(r.name);
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s: %s\n", r.name.c_str(),
+                   r.error.c_str());
+      table.add("ERROR: " + r.error);
+      for (int i = 0; i < 6; ++i) table.skip();
+      continue;
+    }
+    const double clean_ns = static_cast<double>(counter(r, "clean_ns"));
+    const double faulted_ns = static_cast<double>(counter(r, "faulted_ns"));
+    table.add(clean_ns * 1e-6, 3)
+        .add(faulted_ns * 1e-6, 3)
+        .add(clean_ns > 0 ? faulted_ns / clean_ns : 0.0, 2)
+        .add(counter(r, "fallback_transfers"))
+        .add(counter(r, "retransmits"))
+        .add(counter(r, "crc_drops"))
+        .add(runner::digest_hex(r.metrics.digest));
   }
   table.print();
-  return all_ok ? 0 : 1;
+
+  if (opts.out != "-") {
+    runner::BenchJsonMeta meta;
+    meta.point_set = opts.reduced ? "reduced" : "full";
+    meta.threads = pool.threads();
+    meta.sweep_wall_ms = pool.last_sweep_wall_ms();
+    std::ofstream out(opts.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+      return 2;
+    }
+    runner::write_bench_json(out, results, meta);
+    std::printf("wrote %s\n", opts.out.c_str());
+  }
+
+  int mismatches = 0;
+  if (opts.check_digests) {
+    std::puts("\n== digest check: re-running every point serially ==");
+    runner::SweepRunner serial_runner(/*threads=*/1);
+    const auto serial = serial_runner.run(points);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = results[i];
+      const auto& b = serial[i];
+      const bool same = a.ok == b.ok && a.metrics.digest == b.metrics.digest &&
+                        a.metrics.sim_time == b.metrics.sim_time &&
+                        a.metrics.counters == b.metrics.counters;
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "DIGEST MISMATCH %s: pooled %s vs serial %s\n",
+                     a.name.c_str(),
+                     runner::digest_hex(a.metrics.digest).c_str(),
+                     runner::digest_hex(b.metrics.digest).c_str());
+      }
+    }
+    if (mismatches == 0) {
+      std::printf("digest check passed: %zu/%zu points reproduce their "
+                  "serial digests\n",
+                  serial.size(), serial.size());
+    }
+  }
+
+  return (failed || mismatches) ? 1 : 0;
 }

@@ -1,0 +1,210 @@
+// Failover-recovery sweep: permanent interior-link cuts against live
+// collectives on multi-hop fabrics with fault-aware adaptive routing on
+// and the degraded TCP fallback OFF — the fabric's re-convergence plus
+// the go-back-N reroute escalation must carry every run.
+//
+// Each point reports:
+//   recovery (us)   first cut -> the fabric's re-convergence instant
+//   goodput (MB/s)  a 256 KiB bulk transfer timed over the re-converged
+//                   route, after the collectives complete
+//   epochs/grants   route re-convergences and reroute grants the run took
+// A point fails (non-zero exit) if a collective fails verification or
+// any card writes a peer off as unreachable — failover means nobody is
+// given up on.
+//
+// Usage:
+//   failover_recovery [--threads=N] [--points=full|reduced]
+//                     [--backend=host|nic] [--topology=NAME]
+//                     [--out=PATH] [--check-digests]
+//
+// Flags behave as in bench_all / collectives_compare; the JSON schema is
+// docs/BENCHMARKS.md's v2.  This grid also rides in bench_all's full
+// sweep as the failover_recovery suite.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/bench_json.hpp"
+#include "runner/bench_points.hpp"
+#include "runner/sweep.hpp"
+
+using namespace acc;
+
+namespace {
+
+struct Options {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool reduced = false;
+  bool check_digests = false;
+  std::string backend;   // empty = both
+  std::string topology;  // empty = every shape
+  std::string out = "BENCH_results.json";
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--points=reduced") {
+      opts.reduced = true;
+    } else if (arg == "--points=full") {
+      opts.reduced = false;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      opts.backend = arg.substr(10);
+      if (opts.backend != "host" && opts.backend != "nic") {
+        std::fprintf(stderr, "unknown backend: %s (host|nic)\n",
+                     opts.backend.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      opts.topology = arg.substr(11);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out = arg.substr(6);
+    } else if (arg == "--check-digests") {
+      opts.check_digests = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string param(const std::vector<std::pair<std::string, std::string>>& ps,
+                  const char* name) {
+  for (const auto& [key, value] : ps) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+std::int64_t counter(const runner::RunRecord& r, const char* name) {
+  for (const auto& [key, value] : r.metrics.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  auto points = runner::failover_points(opts.reduced);
+  if (!opts.backend.empty() || !opts.topology.empty()) {
+    std::vector<runner::RunPoint> kept;
+    for (auto& p : points) {
+      if (!opts.backend.empty() &&
+          param(p.params, "collective_backend") != opts.backend) {
+        continue;
+      }
+      if (!opts.topology.empty() &&
+          param(p.params, "topology") != opts.topology) {
+        continue;
+      }
+      kept.push_back(std::move(p));
+    }
+    points = std::move(kept);
+    if (points.empty()) {
+      std::fprintf(stderr, "no points match the backend/topology filter\n");
+      return 2;
+    }
+  }
+
+  runner::SweepRunner pool(opts.threads);
+  print_banner("failover_recovery: " + std::to_string(points.size()) +
+               " points (" + std::string(opts.reduced ? "reduced" : "full") +
+               ") on " + std::to_string(pool.threads()) + " threads");
+  const auto results = pool.run(points);
+
+  Table table({"point", "clean (ms)", "faulted (ms)", "recovery (us)",
+               "goodput (MB/s)", "epochs", "grants", "digest"});
+  int failed = 0;
+  for (const auto& r : results) {
+    table.row().add(r.name);
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s: %s\n", r.name.c_str(),
+                   r.error.c_str());
+      table.add("ERROR: " + r.error);
+      for (int i = 0; i < 6; ++i) table.skip();
+      continue;
+    }
+    table.add(static_cast<double>(counter(r, "clean_ns")) * 1e-6, 3)
+        .add(static_cast<double>(counter(r, "faulted_ns")) * 1e-6, 3)
+        .add(static_cast<double>(counter(r, "recovery_latency_ns")) * 1e-3, 1)
+        .add(static_cast<double>(counter(r, "goodput_bytes_per_s")) * 1e-6, 1)
+        .add(counter(r, "route_epochs"))
+        .add(counter(r, "reroute_grants"))
+        .add(runner::digest_hex(r.metrics.digest));
+  }
+  table.print();
+
+  if (opts.out != "-") {
+    runner::BenchJsonMeta meta;
+    meta.point_set = opts.reduced ? "reduced" : "full";
+    meta.threads = pool.threads();
+    meta.sweep_wall_ms = pool.last_sweep_wall_ms();
+    std::ofstream out(opts.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+      return 2;
+    }
+    runner::write_bench_json(out, results, meta);
+    std::printf("wrote %s\n", opts.out.c_str());
+  }
+
+  int mismatches = 0;
+  if (opts.check_digests) {
+    std::puts("\n== digest check: re-running every point serially ==");
+    runner::SweepRunner serial_runner(/*threads=*/1);
+    const auto serial = serial_runner.run(points);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = results[i];
+      const auto& b = serial[i];
+      const bool same = a.ok == b.ok && a.metrics.digest == b.metrics.digest &&
+                        a.metrics.sim_time == b.metrics.sim_time &&
+                        a.metrics.counters == b.metrics.counters;
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "DIGEST MISMATCH %s: pooled %s vs serial %s\n",
+                     a.name.c_str(),
+                     runner::digest_hex(a.metrics.digest).c_str(),
+                     runner::digest_hex(b.metrics.digest).c_str());
+      }
+    }
+    if (mismatches == 0) {
+      std::printf("digest check passed: %zu/%zu points reproduce their "
+                  "serial digests\n",
+                  serial.size(), serial.size());
+    }
+  }
+
+  // Every point must have actually recovered through the fabric: at
+  // least one re-convergence per cut, and a live post-failover route.
+  int regressions = 0;
+  for (const auto& r : results) {
+    if (!r.ok) continue;
+    const auto cuts = std::stoll(param(r.params, "cuts"));
+    if (counter(r, "route_epochs") < cuts ||
+        counter(r, "goodput_bytes_per_s") <= 0) {
+      ++regressions;
+      std::fprintf(stderr,
+                   "RECOVERY REGRESSION %s: %lld epochs for %lld cuts, "
+                   "goodput %lld B/s\n",
+                   r.name.c_str(),
+                   static_cast<long long>(counter(r, "route_epochs")),
+                   static_cast<long long>(cuts),
+                   static_cast<long long>(counter(r, "goodput_bytes_per_s")));
+    }
+  }
+  if (regressions == 0) {
+    std::puts("recovery check passed: every point re-converged and moved "
+              "bulk data over the surviving paths");
+  }
+  return (failed || mismatches || regressions) ? 1 : 0;
+}

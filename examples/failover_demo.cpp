@@ -1,0 +1,127 @@
+// Failover walkthrough: cut an interior fabric link — permanently —
+// in the middle of a live allreduce on a fat-tree, and watch the
+// fault-aware routing plane carry the run to a bit-identical result:
+//
+//   1. the link-state layer declares the link dead (consecutive-drop
+//      fast path, backed by seeded heartbeat probes with hysteresis),
+//   2. the fabric re-converges its next-port tables over the surviving
+//      links (ECMP among minimal paths, lowest-link-id tie-break),
+//   3. the INIC go-back-N plane asks the fabric for a reroute and
+//      re-arms instead of declaring the peer unreachable.
+//
+//   $ ./failover_demo
+//
+// The run is deterministic: the same seed and fault plan replay the
+// same detection instants, the same re-convergence, the same recovery.
+// Set ACC_TRACE=/tmp/failover.json to see the kRouting records, or
+// ACC_TRACE_DIGEST=1 to print the run digest —
+// scripts/check_determinism.sh uses that to check failover replays
+// bit-identically across processes, locales and address-space layouts.
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "core/acc.hpp"
+
+using namespace acc;
+
+namespace {
+
+apps::ClusterOptions failover_options(apps::CollectiveBackend backend) {
+  apps::ClusterOptions opts;
+  opts.inic_hw_retransmit = true;  // go-back-N is the recovery engine
+  opts.inic_max_retries = 8;
+  opts.degraded_fallback = false;  // the fabric itself must recover
+  opts.adaptive_routing = true;
+  opts.topology = net::TopologyConfig::fat_tree(2);
+  opts.collective_backend = backend;
+  return opts;
+}
+
+/// First interior link incident to host 0's attach switch — traffic off
+/// the switch is guaranteed to cross it, so cutting it forces failover.
+std::pair<int, int> first_uplink(net::Network& net) {
+  const auto& plan = net.plan();
+  const int sw = plan.hosts.front().sw;
+  for (const auto& port : plan.switches[static_cast<std::size_t>(sw)].ports) {
+    if (port.peer_switch < 0) continue;
+    return {std::min(sw, port.peer_switch), std::max(sw, port.peer_switch)};
+  }
+  return {-1, -1};
+}
+
+struct Outcome {
+  bool verified = false;
+  Time total = Time::zero();
+  std::uint64_t route_epochs = 0;
+  std::uint64_t reroute_grants = 0;
+  std::uint64_t peers_lost = 0;
+};
+
+Outcome run(apps::CollectiveBackend backend, bool cut, Time clean) {
+  constexpr std::size_t kNodes = 16;
+  constexpr std::size_t kElements = 256;
+  apps::SimCluster cluster(kNodes, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(),
+                           failover_options(backend));
+  cluster.engine().set_time_budget(Time::seconds(5));  // watchdog backstop
+  fault::FaultPlan plan;
+  if (cut) {
+    const auto link = first_uplink(cluster.network());
+    plan.with_interior_link_failed(link.first, link.second, clean * 0.25);
+  }
+  fault::FaultInjector injector(cluster, plan);
+
+  const auto ar = coll::topology_allreduce(cluster, kElements, /*seed=*/5);
+  const auto bc = coll::topology_broadcast(cluster, kElements, /*seed=*/6);
+
+  Outcome out;
+  out.verified = ar.verified && bc.verified;
+  out.total = cluster.engine().now();
+  out.route_epochs = cluster.network().route_epoch();
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    out.peers_lost += cluster.card(i).peers_lost();
+    out.reroute_grants += cluster.card(i).reroutes();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Failover demo: permanent interior-link cut mid-allreduce on a\n"
+      "fat-tree of 16 INIC nodes, host and NIC collective backends\n\n");
+
+  bool all_ok = true;
+  Table table({"backend", "run", "total (ms)", "route epochs",
+               "reroute grants", "peers lost", "result"});
+  for (auto backend : {apps::CollectiveBackend::kHost,
+                       apps::CollectiveBackend::kNic}) {
+    const Outcome clean = run(backend, /*cut=*/false, Time::zero());
+    const Outcome faulted = run(backend, /*cut=*/true, clean.total);
+    all_ok = all_ok && clean.verified && faulted.verified &&
+             faulted.peers_lost == 0 && faulted.route_epochs > 0;
+    for (const auto* pair : {&clean, &faulted}) {
+      table.row()
+          .add(apps::to_string(backend))
+          .add(pair == &clean ? "clean" : "link cut")
+          .add(pair->total.as_millis(), 3)
+          .add(static_cast<std::int64_t>(pair->route_epochs))
+          .add(static_cast<std::int64_t>(pair->reroute_grants))
+          .add(static_cast<std::int64_t>(pair->peers_lost))
+          .add(pair->verified ? "verified" : "WRONG");
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nThe cut lands mid-allreduce; the fabric detects it from the\n"
+      "dropped frames, re-converges onto the surviving uplink, and the\n"
+      "go-back-N plane replays the lost bursts over the new route.  No\n"
+      "peer is ever written off, and the results stay bit-identical to\n"
+      "the fault-free run.\n");
+  return all_ok ? 0 : 1;
+}

@@ -61,11 +61,14 @@ aslr_wrap() {
 # binary: quickstart exercises healthy runs, fault_injection a
 # fault-injected run (scripted storm + seeded loss chain), topology_demo
 # multi-hop fabrics (fat-tree and torus routing, per-hop queuing, an
-# interior-link outage), and collective_offload the collective backends
+# interior-link outage), collective_offload the collective backends
 # (host trees over TCP and INIC plus the card-resident NIC engine's
-# trigger tables) — together covering the healthy, faulted, multi-hop,
-# and on-card-collective parts of the determinism contract
-# (docs/FAULTS.md, docs/NETWORK.md, docs/COLLECTIVES.md).
+# trigger tables), and failover_demo the adaptive-routing plane (a
+# permanent mid-collective link cut: link-state detection instants,
+# deterministic re-convergence, go-back-N reroute escalation) —
+# together covering the healthy, faulted, multi-hop, on-card-collective
+# and failover parts of the determinism contract (docs/FAULTS.md,
+# docs/NETWORK.md, docs/COLLECTIVES.md).
 digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
   local mode="$1" loc="$2" probe="$3"
   aslr_wrap "$mode" env LC_ALL="$loc" ACC_TRACE_DIGEST=1 \
@@ -74,7 +77,8 @@ digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
 }
 
 fail=0
-for probe in quickstart fault_injection topology_demo collective_offload; do
+for probe in quickstart fault_injection topology_demo collective_offload \
+             failover_demo; do
   echo "== cross-environment digest comparison (examples/$probe) =="
   baseline="$(digests_of varied C "$probe")"
   if [[ -z "$baseline" ]]; then

@@ -120,6 +120,7 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
   net_cfg.switch_latency = cal.switch_latency;
   net_cfg.port_buffer = cal.switch_port_buffer;
   net_cfg.topology = opts_.topology;
+  net_cfg.routing.adaptive = opts_.adaptive_routing;
   network_ = std::make_unique<net::Network>(eng_, n, net_cfg);
 
   hw::NodeConfig node_cfg;
@@ -228,12 +229,21 @@ inic::CollectiveEngine& SimCluster::collective_engine(std::size_t i) {
   auto& slot = collective_engines_.at(i);
   if (!slot) {
     const int src = static_cast<int>(i);
+    // Delivery confirmation is only wired up when the card itself is the
+    // sole carrier: with the degraded TCP fallback on, transfer() already
+    // guarantees delivery, and confirming against the card would mis-read
+    // a fallback-carried message as a dead hop.
+    inic::CollectiveEngine::FlushFn flush;
+    if (!opts_.degraded_fallback) {
+      flush = [this, src](int dst) { return cards_.at(src)->flush(dst); };
+    }
     slot = std::make_unique<inic::CollectiveEngine>(
         *cards_.at(i),
         [this, src](int dst, Bytes size, std::uint64_t tag,
                     std::any payload) {
           return transfer(src, dst, size, tag, std::move(payload));
-        });
+        },
+        std::move(flush));
   }
   return *slot;
 }

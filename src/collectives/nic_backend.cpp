@@ -58,6 +58,13 @@ NicTree build_tree(apps::SimCluster& cluster) {
     inic::TreeRole& role = tree.role[l];
     const std::size_t lowbit = l & (~l + 1);
     if (l > 0) role.parent = static_cast<int>(tree.order[l - lowbit]);
+    // Full ancestor chain (parent, grandparent, ..., root): each step
+    // clears the lowest set bit.  Powers mid-collective tree repair —
+    // a send whose parent is unreachable re-targets the next ancestor.
+    for (std::size_t a = l; a > 0;) {
+      a -= a & (~a + 1);
+      role.ancestors.push_back(static_cast<int>(tree.order[a]));
+    }
     const std::size_t limit = l == 0 ? p_count : lowbit;
     for (std::size_t m = 1; m < limit; m <<= 1) {
       if (l + m < p_count) {

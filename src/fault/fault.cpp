@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -44,13 +45,19 @@ FaultInjector::FaultInjector(apps::SimCluster& cluster, FaultPlan plan)
           "FaultInjector: buffer-shrink buffer_factor must be in [0, 1]");
     }
   }
-  for (const auto& w : plan_.interior_link_down) {
-    if (!cluster_.network().has_interior_link(w.switch_a, w.switch_b)) {
+  auto check_interior = [this](int a, int b, const char* what) {
+    if (!cluster_.network().has_interior_link(a, b)) {
       throw std::invalid_argument(
-          "FaultInjector: interior-link-down window names switches " +
-          std::to_string(w.switch_a) + " and " + std::to_string(w.switch_b) +
+          std::string("FaultInjector: ") + what + " names switches " +
+          std::to_string(a) + " and " + std::to_string(b) +
           ", which share no fabric link");
     }
+  };
+  for (const auto& w : plan_.interior_link_down) {
+    check_interior(w.switch_a, w.switch_b, "interior-link-down window");
+  }
+  for (const auto& w : plan_.interior_link_failed) {
+    check_interior(w.switch_a, w.switch_b, "interior-link failure");
   }
   arm();
 }
@@ -137,18 +144,32 @@ void FaultInjector::arm() {
     });
   }
 
+  // Interior links are undirected; window values name them by the
+  // normalized (min, max) pair so the trace agrees with the per-link
+  // counters (net/link/s<min>-s<max>) whichever order the plan used.
+  const auto link_value = [](int a, int b) {
+    return (static_cast<std::int64_t>(std::min(a, b)) << 32) |
+           static_cast<std::int64_t>(std::max(a, b));
+  };
   for (const auto& w : plan_.interior_link_down) {
-    eng.schedule_at(w.start, [this, &net, w] {
-      fire(-1, "fault/interior_link_down",
-           (static_cast<std::int64_t>(w.switch_a) << 32) |
-               static_cast<std::int64_t>(w.switch_b));
+    eng.schedule_at(w.start, [this, &net, w, link_value] {
+      fire(-1, "fault/interior_link_down", link_value(w.switch_a, w.switch_b));
       net.set_interior_link_state(w.switch_a, w.switch_b, false);
     });
-    eng.schedule_at(w.start + w.duration, [this, &net, w] {
-      fire(-1, "fault/interior_link_up",
-           (static_cast<std::int64_t>(w.switch_a) << 32) |
-               static_cast<std::int64_t>(w.switch_b));
+    eng.schedule_at(w.start + w.duration, [this, &net, w, link_value] {
+      fire(-1, "fault/interior_link_up", link_value(w.switch_a, w.switch_b));
       net.set_interior_link_state(w.switch_a, w.switch_b, true);
+    });
+  }
+
+  for (const auto& w : plan_.interior_link_failed) {
+    // Permanent: only the opening edge exists; nothing ever restores the
+    // link, so recovery is entirely the routing plane's (or the
+    // protocols') problem.
+    eng.schedule_at(w.start, [this, &net, w, link_value] {
+      fire(-1, "fault/interior_link_failed",
+           link_value(w.switch_a, w.switch_b));
+      net.set_interior_link_state(w.switch_a, w.switch_b, false);
     });
   }
 

@@ -80,6 +80,17 @@ struct InteriorLinkDownWindow {
   Time duration = Time::zero();
 };
 
+/// Permanent backbone failure: the link goes dark at `start` and never
+/// recovers — the hardware-replacement scenario the adaptive routing
+/// plane (net::RoutingConfig) exists for.  On a static-routing fabric
+/// every flow crossing the link keeps failing until its protocol gives
+/// up; with adaptive routing the fabric re-converges around it.
+struct InteriorLinkFailure {
+  int switch_a = 0;
+  int switch_b = 0;
+  Time start = Time::zero();
+};
+
 /// A scripted, seeded schedule of fault windows.  Build with the with_*
 /// helpers (chainable) or fill the vectors directly.
 struct FaultPlan {
@@ -91,6 +102,7 @@ struct FaultPlan {
   std::vector<BufferShrinkWindow> buffer_shrink;
   std::vector<CardResetWindow> card_reset;
   std::vector<InteriorLinkDownWindow> interior_link_down;
+  std::vector<InteriorLinkFailure> interior_link_failed;
 
   FaultPlan& with_seed(std::uint64_t s) {
     seed = s;
@@ -128,11 +140,17 @@ struct FaultPlan {
     interior_link_down.push_back({switch_a, switch_b, start, duration});
     return *this;
   }
+  FaultPlan& with_interior_link_failed(int switch_a, int switch_b,
+                                       Time start) {
+    interior_link_failed.push_back({switch_a, switch_b, start});
+    return *this;
+  }
 
   bool empty() const {
     return link_down.empty() && burst_loss.empty() && corruption.empty() &&
            port_degrade.empty() && buffer_shrink.empty() &&
-           card_reset.empty() && interior_link_down.empty();
+           card_reset.empty() && interior_link_down.empty() &&
+           interior_link_failed.empty();
   }
 };
 

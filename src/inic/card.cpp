@@ -38,6 +38,7 @@ InicCard::InicCard(hw::Node& node, net::Network& network,
       crc_dropped_(counter("inic/crc_drops")),
       reset_dropped_(counter("inic/reset_drops")),
       peer_unreachable_(counter("inic/peer_unreachable")),
+      reroutes_(counter("inic/reroutes")),
       resets_(counter("inic/resets")),
       triggers_armed_(trigger_counter("coll/triggers_armed")),
       trigger_fires_(trigger_counter("coll/trigger_fires")),
@@ -266,6 +267,32 @@ void InicCard::declare_peer_unreachable(int dst) {
   for (std::size_t i = 0; i < abandoned; ++i) {
     credits.release();
   }
+  wake_flush_waiters(dst);
+}
+
+void InicCard::wake_flush_waiters(int dst) {
+  auto it = flush_waiters_.find(dst);
+  if (it == flush_waiters_.end()) return;
+  // Swap out first: a resumed waiter may re-park itself under this key.
+  std::vector<std::shared_ptr<sim::Event>> waiters = std::move(it->second);
+  flush_waiters_.erase(it);
+  for (const auto& ev : waiters) ev->trigger();
+}
+
+sim::Process InicCard::flush(int dst) {
+  // Without go-back-N nothing ever retires the outstanding queue, so
+  // there is no confirmation to wait for (and no exhaustion to detect).
+  if (!cfg_.hw_retransmit) co_return;
+  for (;;) {
+    if (peer_unreachable(dst)) {
+      throw PeerUnreachableError(node_.id(), dst);
+    }
+    const auto it = outstanding_.find(dst);
+    if (it == outstanding_.end() || it->second.empty()) co_return;
+    auto ev = std::make_shared<sim::Event>(node_.engine());
+    flush_waiters_[dst].push_back(ev);
+    co_await ev->wait();
+  }
 }
 
 void InicCard::check_retransmit(int dst, std::uint64_t generation) {
@@ -281,8 +308,24 @@ void InicCard::check_retransmit(int dst, std::uint64_t generation) {
   }
   std::uint32_t& rounds = retry_rounds_[dst];
   if (cfg_.max_retries > 0 && rounds >= cfg_.max_retries) {
-    declare_peer_unreachable(dst);
-    return;
+    // Escalation before surrender: a dry retry budget is end-to-end
+    // evidence the current path is dead.  If the fabric can re-converge
+    // onto an alternate, reset the round counter and fall through to
+    // retransmit over the new path; credit progress resets the grant
+    // budget.  Only when no alternate exists (or the grants are spent)
+    // does the failure surface as PeerUnreachableError.
+    std::uint32_t& grants = reroute_grants_[dst];
+    if (grants < cfg_.max_reroutes &&
+        network_.request_reroute(node_.id(), dst)) {
+      ++grants;
+      rounds = 0;
+      reroutes_.add(eng.now(), 1);
+      tracer().instant(trace::Category::kInic, node_.id(), "inic/reroute",
+                       eng.now(), dst);
+    } else {
+      declare_peer_unreachable(dst);
+      return;
+    }
   }
   ++rounds;
   // Go-back-N: resend every outstanding burst to this destination in
@@ -339,9 +382,11 @@ void InicCard::deliver(const net::Frame& frame) {
     queue.erase(burst);
     credits_received_.add(eng.now(), 1);
     // Credit progress: the path to this peer is alive, so the
-    // retransmission backoff resets.
+    // retransmission backoff and the reroute-grant budget reset.
     retry_rounds_[frame.src] = 0;
+    reroute_grants_[frame.src] = 0;
     credits_for(frame.src).release();
+    if (it->second.empty()) wake_flush_waiters(frame.src);
     if (cfg_.hw_retransmit) {
       // Cancel-on-ack: the credit invalidates the armed timer.  While
       // bursts remain outstanding a fresh timer is armed; once the queue

@@ -194,6 +194,17 @@ class InicCard : public net::Endpoint {
     return unreachable_peers_.count(dst) != 0;
   }
 
+  /// Delivery confirmation: completes when every outstanding burst to
+  /// `dst` has been credited back (go-back-N has nothing left to guard),
+  /// throws PeerUnreachableError if the peer is declared dead while
+  /// waiting.  send_stream() itself is fire-and-forget past the MAC —
+  /// a single-burst message "succeeds" at wire time even if the frame
+  /// then dies on a dark path — so path-critical senders (the collective
+  /// engine's tree-repair sends) await this to learn the difference.
+  /// Immediately complete when hardware retransmission is off: without
+  /// go-back-N nothing ever retires the outstanding queue.
+  sim::Process flush(int dst);
+
   // ------------------------------------------------------------------
   // Endpoint interface + stats
   // ------------------------------------------------------------------
@@ -207,9 +218,12 @@ class InicCard : public net::Endpoint {
   std::uint64_t crc_drops() const { return crc_dropped_.value(); }
   std::uint64_t reset_drops() const { return reset_dropped_.value(); }
   std::uint64_t peers_lost() const { return peer_unreachable_.value(); }
+  /// Reroutes granted by the fabric after dry go-back-N retry budgets.
+  std::uint64_t reroutes() const { return reroutes_.value(); }
   Bytes bytes_to_host() const { return Bytes(bytes_to_host_.value()); }
   const InicConfig& config() const { return cfg_; }
   hw::Node& node() { return node_; }
+  net::Network& network() { return network_; }
 
  private:
   struct MsgHeader {
@@ -273,6 +287,9 @@ class InicCard : public net::Endpoint {
   /// blocked senders wake and observe the failure), and records the
   /// peer-unreachable event.
   void declare_peer_unreachable(int dst);
+  /// Resumes flush() waiters parked on `dst` (outstanding queue drained
+  /// or peer declared unreachable; the waiter re-checks which).
+  void wake_flush_waiters(int dst);
 
   hw::Node& node_;
   net::Network& network_;
@@ -317,7 +334,11 @@ class InicCard : public net::Endpoint {
   std::map<int, std::uint64_t> retransmit_generation_;
   std::map<int, sim::TimerHandle> retransmit_timers_;
   std::map<int, std::uint32_t> retry_rounds_;
+  std::map<int, std::uint32_t> reroute_grants_;  // per-dst reroute budget used
   std::set<int> unreachable_peers_;
+  // flush() waiters parked per destination; each entry is one coroutine's
+  // private event (single waiter each, shared_ptr so a waker outlives it).
+  std::map<int, std::vector<std::shared_ptr<sim::Event>>> flush_waiters_;
 
   // Fault/reset window: the card is offline until this instant.
   Time paused_until_ = Time::zero();
@@ -331,6 +352,7 @@ class InicCard : public net::Endpoint {
   trace::Counter& crc_dropped_;
   trace::Counter& reset_dropped_;
   trace::Counter& peer_unreachable_;
+  trace::Counter& reroutes_;
   trace::Counter& resets_;
   // Trigger counters live in Category::kCollective; they only emit trace
   // records while triggers are actually exercised, so host-backend runs

@@ -32,17 +32,83 @@ struct CollectiveEngine::OpState {
   sim::Event done;
   DoubleVec acc;            // local contribution, then combined/received
   Bytes size = Bytes::zero();
+  // Orphans re-parented under this card mid-collective (tree repair):
+  // their up-phase message arrived from a source outside `children`, so
+  // the down phase must fan out to them as well.
+  std::vector<int> adopted;
 };
 
-CollectiveEngine::CollectiveEngine(InicCard& card, SendFn send)
-    : card_(card), send_(std::move(send)) {}
+CollectiveEngine::CollectiveEngine(InicCard& card, SendFn send, FlushFn flush)
+    : card_(card), send_(std::move(send)), flush_(std::move(flush)) {}
 
 void CollectiveEngine::post_send(int dst, Bytes size, std::uint64_t tag,
-                                 std::any payload) {
-  auto p = std::make_unique<sim::Process>(
-      send_(dst, size, tag, std::move(payload)));
+                                 std::any payload, std::vector<int> relays) {
+  auto p = std::make_unique<sim::Process>(guarded_send(
+      dst, size, tag, std::move(payload), std::move(relays)));
   p->start(card_.node().engine());
   firmware_.push_back(std::move(p));
+}
+
+sim::Process CollectiveEngine::guarded_send(int dst, Bytes size,
+                                            std::uint64_t tag,
+                                            std::any payload,
+                                            std::vector<int> relays) {
+  sim::Engine& eng = card_.node().engine();
+  const int self = card_.node().id();
+  int target = dst;
+  std::size_t next_relay = 0;
+  for (;;) {
+    std::any copy = payload;  // keep the original for a relay retry
+    bool unreachable = false;
+    try {
+      co_await send_(target, size, tag, std::move(copy));
+      // A completed send only means the bursts left the MAC; for sends
+      // that carry repair relays, wait for the credits to confirm the
+      // path is actually alive (flush throws when the retry budget runs
+      // dry), so a dead parent is detected even on single-burst tokens.
+      if (flush_ && !relays.empty()) co_await flush_(target);
+    } catch (const PeerUnreachableError&) {
+      unreachable = true;  // co_await is not allowed inside a handler
+    }
+    if (!unreachable) co_return;
+    if (next_relay >= relays.size()) {
+      // No surviving ancestor left to adopt this subtree; the op stalls
+      // and the run's watchdog (or the caller) surfaces the hang.
+      eng.tracer().instant(trace::Category::kCollective, self,
+                           "coll/repair_failed", eng.now(), target);
+      co_return;
+    }
+    // Tree repair: re-parent this subtree under the next ancestor of the
+    // dead hop and re-send the (unconsumed) message there.  The adopter's
+    // trigger counts any distinct source, so the orphan's report
+    // substitutes the dead rank's and the exactly-once per-source dedup
+    // still holds.
+    target = relays[next_relay++];
+    card_.node()
+        .engine()
+        .counters()
+        .get(trace::Category::kCollective, self, "coll/tree_repairs")
+        .add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kCollective, self,
+                         "coll/repair_reparent", eng.now(), target);
+  }
+}
+
+void CollectiveEngine::note_adopted(OpState& st,
+                                    const std::vector<int>& children,
+                                    int src) {
+  if (src < 0) return;
+  if (std::find(children.begin(), children.end(), src) != children.end()) {
+    return;
+  }
+  if (std::find(st.adopted.begin(), st.adopted.end(), src) !=
+      st.adopted.end()) {
+    return;
+  }
+  st.adopted.push_back(src);
+  sim::Engine& eng = card_.node().engine();
+  eng.tracer().instant(trace::Category::kCollective, card_.node().id(),
+                       "coll/adopt", eng.now(), src);
 }
 
 void CollectiveEngine::prune_firmware() {
@@ -60,10 +126,17 @@ sim::Process CollectiveEngine::barrier(TreeRole role, std::uint64_t op_id) {
   const std::uint64_t down = down_tag(op_id);
   const bool root = role.parent < 0;
   const Bytes token(8);
+  // Tree repair: if the parent dies, report to its ancestors in order.
+  std::vector<int> relays;
+  if (role.ancestors.size() > 1) {
+    relays.assign(role.ancestors.begin() + 1, role.ancestors.end());
+  }
 
-  // Release: forward the go token to the subtree, open the local gate.
+  // Release: forward the go token to the subtree (own children plus any
+  // orphans adopted during the up phase), open the local gate.
   auto release = [this, st, children = role.children, down, token]() {
     for (int child : children) post_send(child, token, down, std::any{});
+    for (int orphan : st->adopted) post_send(orphan, token, down, std::any{});
     st->done.trigger();
   };
   if (!root) {
@@ -76,19 +149,20 @@ sim::Process CollectiveEngine::barrier(TreeRole role, std::uint64_t op_id) {
     if (root) {
       release();
     } else {
-      post_send(role.parent, token, up, std::any{});
+      post_send(role.parent, token, up, std::any{}, relays);
     }
   } else {
     const int parent = role.parent;
     card_.arm_trigger(
         up, role.children.size(),
-        [this, parent, root, release, token, up](proto::Message&&,
-                                                 bool last) {
+        [this, st, children = role.children, parent, root, release, token,
+         up, relays](proto::Message&& msg, bool last) {
+          note_adopted(*st, children, msg.src);
           if (!last) return;
           if (root) {
             release();
           } else {
-            post_send(parent, token, up, std::any{});
+            post_send(parent, token, up, std::any{}, relays);
           }
         });
   }
@@ -138,9 +212,13 @@ sim::Process CollectiveEngine::reduce(TreeRole role, std::uint64_t op_id,
   const std::uint64_t up = up_tag(op_id);
   const bool root = role.parent < 0;
   const int parent = role.parent;
+  std::vector<int> relays;
+  if (role.ancestors.size() > 1) {
+    relays.assign(role.ancestors.begin() + 1, role.ancestors.end());
+  }
 
-  auto forward_up = [this, st, parent, root, up]() {
-    if (!root) post_send(parent, st->size, up, std::any{st->acc});
+  auto forward_up = [this, st, parent, root, up, relays]() {
+    if (!root) post_send(parent, st->size, up, std::any{st->acc}, relays);
     st->done.trigger();
   };
   if (role.children.empty()) {
@@ -179,11 +257,19 @@ sim::Process CollectiveEngine::allreduce(TreeRole role, std::uint64_t op_id,
   const std::uint64_t down = down_tag(op_id);
   const bool root = role.parent < 0;
   const int parent = role.parent;
+  std::vector<int> relays;
+  if (role.ancestors.size() > 1) {
+    relays.assign(role.ancestors.begin() + 1, role.ancestors.end());
+  }
 
-  // Down phase: install the global sum and fan it out.
+  // Down phase: install the global sum and fan it out — to adopted
+  // orphans too, since their dead parent will never forward it.
   auto deliver_down = [this, st, children = role.children, down]() {
     for (int child : children) {
       post_send(child, st->size, down, std::any{st->acc});
+    }
+    for (int orphan : st->adopted) {
+      post_send(orphan, st->size, down, std::any{st->acc});
     }
     st->done.trigger();
   };
@@ -197,11 +283,11 @@ sim::Process CollectiveEngine::allreduce(TreeRole role, std::uint64_t op_id,
   }
   // Up phase: combine children partials, then report to the parent (or,
   // at the root, start the down phase).
-  auto up_complete = [this, st, parent, root, up, deliver_down]() {
+  auto up_complete = [this, st, parent, root, up, deliver_down, relays]() {
     if (root) {
       deliver_down();
     } else {
-      post_send(parent, st->size, up, std::any{st->acc});
+      post_send(parent, st->size, up, std::any{st->acc}, relays);
     }
   };
   if (role.children.empty()) {
@@ -209,7 +295,9 @@ sim::Process CollectiveEngine::allreduce(TreeRole role, std::uint64_t op_id,
   } else {
     card_.arm_trigger(
         up, role.children.size(),
-        [st, up_complete](proto::Message&& msg, bool last) {
+        [this, st, children = role.children, up_complete](
+            proto::Message&& msg, bool last) {
+          note_adopted(*st, children, msg.src);
           const auto partial =
               std::any_cast<DoubleVec>(std::move(msg.payload));
           for (std::size_t i = 0; i < st->acc.size(); ++i) {

@@ -30,9 +30,17 @@ namespace acc::inic {
 
 /// One card's role in a binomial spanning tree: physical parent id (-1
 /// at the root) and physical children ids in ascending-mask order.
+/// `ancestors` is the full chain toward the root — ancestors[0] is the
+/// parent, the last entry the root — and powers mid-collective tree
+/// repair: a parent-directed send that fails with PeerUnreachableError
+/// re-targets the next ancestor (re-parenting the orphaned subtree),
+/// and the adopting card's down phase forwards the release/result to
+/// adopted orphans alongside its own children.  Empty on the root, and
+/// may be left empty anywhere to disable repair for that rank.
 struct TreeRole {
   int parent = -1;
   std::vector<int> children;
+  std::vector<int> ancestors;
 };
 
 class CollectiveEngine {
@@ -42,8 +50,17 @@ class CollectiveEngine {
   using SendFn = std::function<sim::Process(int dst, Bytes size,
                                             std::uint64_t tag,
                                             std::any payload)>;
+  /// Delivery confirmation for a completed send (bound to
+  /// InicCard::flush): completes once the message is credited back,
+  /// throws PeerUnreachableError when the peer is given up on.  Sends
+  /// with repair relays await it so a fire-and-forget burst that died on
+  /// a dark path still re-parents its subtree.  Leave unset when another
+  /// plane guarantees delivery (SimCluster's degraded TCP fallback) —
+  /// confirming there would mis-read the fallback's success as a dead
+  /// hop and spuriously re-parent.
+  using FlushFn = std::function<sim::Process(int dst)>;
 
-  CollectiveEngine(InicCard& card, SendFn send);
+  CollectiveEngine(InicCard& card, SendFn send, FlushFn flush = {});
   CollectiveEngine(const CollectiveEngine&) = delete;
   CollectiveEngine& operator=(const CollectiveEngine&) = delete;
 
@@ -72,12 +89,25 @@ class CollectiveEngine {
   struct OpState;
 
   /// Fires a detached forward send from the card; the Process wrapper is
-  /// parked in firmware_ so its frame outlives the caller.
-  void post_send(int dst, Bytes size, std::uint64_t tag, std::any payload);
+  /// parked in firmware_ so its frame outlives the caller.  `relays` are
+  /// fallback targets tried in order when a hop fails terminally with
+  /// PeerUnreachableError (tree repair: the dead parent's ancestors).
+  void post_send(int dst, Bytes size, std::uint64_t tag, std::any payload,
+                 std::vector<int> relays = {});
+  /// The detached coroutine behind post_send: swallows
+  /// PeerUnreachableError (a detached process failing would abort the
+  /// whole run) and walks the relay chain instead.
+  sim::Process guarded_send(int dst, Bytes size, std::uint64_t tag,
+                            std::any payload, std::vector<int> relays);
+  /// Up-phase bookkeeping: a trigger message from a non-child source is
+  /// an orphan re-parented under us; remember it so the down phase
+  /// forwards the release/result to its subtree too.
+  void note_adopted(OpState& st, const std::vector<int>& children, int src);
   void prune_firmware();
 
   InicCard& card_;
   SendFn send_;
+  FlushFn flush_;
   // Detached in-flight forwards (the "firmware" activity of this card).
   std::vector<std::unique_ptr<sim::Process>> firmware_;
 };

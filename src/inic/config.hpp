@@ -65,6 +65,13 @@ struct InicConfig {
   /// the cap; credit progress resets it.  1.0 disables backoff.
   double retransmit_backoff = 2.0;
   Time retransmit_timeout_cap = Time::millis(32.0);
+  /// When the go-back-N retry budget runs dry the card first asks the
+  /// fabric for an alternate route (Fabric::request_reroute) and, if one
+  /// exists, resets the retry round and re-arms instead of declaring the
+  /// peer unreachable — up to this many grants per destination (credit
+  /// progress resets the grant count).  Inert unless the fabric runs
+  /// adaptive routing; 0 disables the escalation entirely.
+  std::size_t max_reroutes = 8;
 
   static InicConfig ideal() { return InicConfig{}; }
 

@@ -60,13 +60,25 @@ Fabric::Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
           std::make_unique<sim::FifoResource>(eng, cfg.line_rate, name);
       port.capacity = cfg.port_buffer;
       if (port.peer_switch >= 0) {
+        // Interior-link counters are named by the *undirected* link,
+        // normalized to s<min>-s<max>, so both directions (and every
+        // caller that names the link, e.g. fault windows) agree on one
+        // label and tally into one counter.
+        const int lo = std::min(static_cast<int>(s), port.peer_switch);
+        const int hi = std::max(static_cast<int>(s), port.peer_switch);
         port.congestion = &eng.counters().get(
             trace::Category::kNet, -1,
-            intern_counter_name("net/link/s" + std::to_string(s) + "-s" +
-                                std::to_string(port.peer_switch)));
+            intern_counter_name("net/link/s" + std::to_string(lo) + "-s" +
+                                std::to_string(hi)));
       }
     }
     switches_.push_back(std::move(sw));
+  }
+  if (cfg_.routing.adaptive) {
+    route_epochs_ = &eng.counters().get(trace::Category::kRouting, -1,
+                                        "net/route_epoch");
+    reroute_requests_ = &eng.counters().get(trace::Category::kRouting, -1,
+                                            "net/reroute_requests");
   }
 }
 
@@ -114,6 +126,20 @@ void Fabric::set_interior_link_state(int sw_a, int sw_b, bool up) {
   };
   set_direction(sw_a, sw_b);
   set_direction(sw_b, sw_a);
+  if (!cfg_.routing.adaptive) return;
+  // Heartbeat hysteresis: every physical state change invalidates any
+  // in-flight probe check (epoch bump) and schedules one new check
+  // `{down,up}_probes` intervals out — the link is declared only if the
+  // state still holds then.  One bounded event per change, never a
+  // free-running prober, so Engine::run() still terminates when the
+  // workload drains.
+  const int lo = std::min(sw_a, sw_b);
+  const int hi = std::max(sw_a, sw_b);
+  auto& health = link_health_[{lo, hi}];
+  const std::uint64_t epoch = ++health.probe_epoch;
+  const int probes = up ? cfg_.routing.up_probes : cfg_.routing.down_probes;
+  eng_.schedule(cfg_.routing.probe_interval * static_cast<double>(probes),
+                [this, lo, hi, epoch, up] { probe_check(lo, hi, epoch, up); });
 }
 
 bool Fabric::has_interior_link(int sw_a, int sw_b) const {
@@ -164,7 +190,7 @@ std::vector<int> Fabric::route(int src, int dst) const {
   for (;;) {
     path.push_back(sw);
     const auto& port = switches_[static_cast<std::size_t>(sw)]->out(
-        plan_.port_to(sw, dst));
+        live_port_to(sw, dst));
     if (port.host >= 0) break;
     sw = port.peer_switch;
   }
@@ -177,7 +203,7 @@ Time Fabric::path_latency(int src, int dst, Bytes wire) const {
   for (;;) {
     total += cfg_.switch_latency;
     const auto& port = switches_[static_cast<std::size_t>(sw)]->out(
-        plan_.port_to(sw, dst));
+        live_port_to(sw, dst));
     if (wire > Bytes::zero()) {
       total += transfer_time(wire, port.egress->rate());
     }
@@ -276,7 +302,7 @@ void Fabric::inject(Frame frame) {
 
 void Fabric::forward_at(int sw, Frame frame) {
   Switch& node = *switches_[static_cast<std::size_t>(sw)];
-  const std::size_t out = plan_.port_to(sw, frame.dst);
+  const std::size_t out = live_port_to(sw, frame.dst);
   Switch::OutPort& port = node.out(out);
 
   // Interior link state is checked here, at forwarding time, because a
@@ -288,6 +314,7 @@ void Fabric::forward_at(int sw, Frame frame) {
     link_dropped_.add(eng_.now(), 1);
     eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
                           eng_.now(), static_cast<std::int64_t>(frame.id));
+    note_interior_drop(sw, port.peer_switch);
     return;
   }
 
@@ -315,6 +342,7 @@ void Fabric::forward_at(int sw, Frame frame) {
       port.bytes_out += frame.wire;
       port.congestion->add(eng_.now(), 1);
       const int next = port.peer_switch;
+      note_interior_success(sw, next);
       eng_.schedule(cfg_.link_latency + cfg_.switch_latency,
                     [this, frame, next] { forward_at(next, frame); });
       return;
@@ -331,6 +359,224 @@ void Fabric::forward_at(int sw, Frame frame) {
     eng_.schedule(cfg_.link_latency,
                   [frame, endpoint] { endpoint->deliver(frame); });
   });
+}
+
+// ---------------------------------------------------------------------
+// Adaptive routing plane.  Every entry point below is gated on
+// cfg_.routing.adaptive (directly or via its only callers), so with the
+// default static config none of this runs and no kRouting record is
+// ever emitted.
+// ---------------------------------------------------------------------
+
+bool Fabric::interior_phys_up(int sw_a, int sw_b) const {
+  const auto& sw = *switches_.at(static_cast<std::size_t>(sw_a));
+  for (std::size_t p = 0; p < sw.port_count(); ++p) {
+    if (sw.out(p).peer_switch == sw_b) return sw.out(p).link_up;
+  }
+  return false;
+}
+
+bool Fabric::link_routed_up(int sw_a, int sw_b) const {
+  const auto it = link_health_.find(
+      {std::min(sw_a, sw_b), std::max(sw_a, sw_b)});
+  return it == link_health_.end() || it->second.routed_up;
+}
+
+std::vector<std::pair<int, int>> Fabric::links_declared_down() const {
+  std::vector<std::pair<int, int>> down;
+  for (const auto& [link, health] : link_health_) {
+    if (!health.routed_up) down.push_back(link);
+  }
+  return down;  // std::map iteration: already (min, max) ascending
+}
+
+void Fabric::note_interior_drop(int sw_a, int sw_b) {
+  if (!cfg_.routing.adaptive) return;
+  auto& health = link_health_[{std::min(sw_a, sw_b), std::max(sw_a, sw_b)}];
+  if (!health.routed_up) return;  // already failed over
+  if (++health.consecutive_drops >= cfg_.routing.drop_threshold) {
+    declare_link(std::min(sw_a, sw_b), std::max(sw_a, sw_b), false);
+  }
+}
+
+void Fabric::note_interior_success(int sw_a, int sw_b) {
+  if (!cfg_.routing.adaptive) return;
+  const auto it = link_health_.find(
+      {std::min(sw_a, sw_b), std::max(sw_a, sw_b)});
+  if (it != link_health_.end()) it->second.consecutive_drops = 0;
+}
+
+void Fabric::probe_check(int lo, int hi, std::uint64_t epoch, bool expect_up) {
+  const auto it = link_health_.find({lo, hi});
+  if (it == link_health_.end() || it->second.probe_epoch != epoch) {
+    return;  // a newer physical change superseded this check
+  }
+  if (interior_phys_up(lo, hi) != expect_up) return;  // flapped back
+  declare_link(lo, hi, expect_up);
+}
+
+void Fabric::declare_link(int lo, int hi, bool up) {
+  auto& health = link_health_[{lo, hi}];
+  if (health.routed_up == up) return;
+  health.routed_up = up;
+  health.consecutive_drops = 0;
+  ++health.probe_epoch;  // a declaration also retires in-flight checks
+  eng_.tracer().instant(
+      trace::Category::kRouting, -1,
+      up ? "routing/link_up" : "routing/link_down", eng_.now(),
+      (static_cast<std::int64_t>(lo) << 32) | static_cast<std::int64_t>(hi));
+  reconverge();
+}
+
+void Fabric::reconverge() {
+  ++route_epoch_;
+  if (route_epochs_ != nullptr) route_epochs_->add(eng_.now(), 1);
+  eng_.tracer().instant(trace::Category::kRouting, -1, "routing/reconverge",
+                        eng_.now(), static_cast<std::int64_t>(route_epoch_));
+
+  bool any_down = false;
+  for (const auto& [link, health] : link_health_) {
+    if (!health.routed_up) any_down = true;
+  }
+  if (!any_down) {
+    // Full recovery: restore the pristine static tables exactly.
+    routing_ = plan_.next_port;
+    return;
+  }
+  if (routing_.empty()) routing_ = plan_.next_port;
+
+  // Per destination: BFS over surviving interior links from the
+  // destination's attach switch gives minimal distances; each switch
+  // then forwards through any port whose peer is strictly closer.  The
+  // candidate list is built in ascending port index (== ascending link
+  // id, the stable tie-break) and the live entry takes
+  // candidates[dst % n] — deterministic ECMP spread, the same idiom the
+  // static fat-tree tables use for spine selection.  Paths are loop-free
+  // by construction (distance strictly decreases); switches the BFS
+  // cannot reach keep their stale entries, so stranded frames die at
+  // the dead hop and the end-to-end planes escalate.
+  const std::size_t hosts = plan_.hosts.size();
+  std::vector<int> dist(switches_.size());
+  std::vector<int> queue;
+  queue.reserve(switches_.size());
+  std::vector<std::size_t> candidates;
+  for (std::size_t dst = 0; dst < hosts; ++dst) {
+    std::fill(dist.begin(), dist.end(), -1);
+    const int root = plan_.hosts[dst].sw;
+    dist[static_cast<std::size_t>(root)] = 0;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int at = queue[head];
+      const auto& sw = *switches_[static_cast<std::size_t>(at)];
+      for (std::size_t p = 0; p < sw.port_count(); ++p) {
+        const int peer = sw.out(p).peer_switch;
+        if (peer < 0 || dist[static_cast<std::size_t>(peer)] >= 0) continue;
+        if (!link_routed_up(at, peer)) continue;
+        dist[static_cast<std::size_t>(peer)] =
+            dist[static_cast<std::size_t>(at)] + 1;
+        queue.push_back(peer);
+      }
+    }
+    for (std::size_t s = 0; s < switches_.size(); ++s) {
+      if (static_cast<int>(s) == root) continue;  // host port entry is fixed
+      if (dist[s] < 0) continue;                  // unreachable: keep stale
+      const auto& sw = *switches_[s];
+      candidates.clear();
+      for (std::size_t p = 0; p < sw.port_count(); ++p) {
+        const int peer = sw.out(p).peer_switch;
+        if (peer < 0 || dist[static_cast<std::size_t>(peer)] != dist[s] - 1 ||
+            !link_routed_up(static_cast<int>(s), peer)) {
+          continue;
+        }
+        candidates.push_back(p);
+      }
+      if (candidates.empty()) continue;
+      routing_[s * hosts + dst] =
+          static_cast<std::uint16_t>(candidates[dst % candidates.size()]);
+    }
+  }
+}
+
+std::vector<std::size_t> Fabric::ecmp_ports(int sw, int dst) const {
+  std::vector<std::size_t> ports;
+  const auto& attach = plan_.hosts.at(static_cast<std::size_t>(dst));
+  if (attach.sw == sw) {
+    ports.push_back(attach.port);
+    return ports;
+  }
+  std::vector<int> dist(switches_.size(), -1);
+  std::vector<int> queue;
+  queue.reserve(switches_.size());
+  dist[static_cast<std::size_t>(attach.sw)] = 0;
+  queue.push_back(attach.sw);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int at = queue[head];
+    const auto& node = *switches_[static_cast<std::size_t>(at)];
+    for (std::size_t p = 0; p < node.port_count(); ++p) {
+      const int peer = node.out(p).peer_switch;
+      if (peer < 0 || dist[static_cast<std::size_t>(peer)] >= 0) continue;
+      if (!link_routed_up(at, peer)) continue;
+      dist[static_cast<std::size_t>(peer)] =
+          dist[static_cast<std::size_t>(at)] + 1;
+      queue.push_back(peer);
+    }
+  }
+  const int here = dist.at(static_cast<std::size_t>(sw));
+  if (here < 0) return ports;  // unreachable over surviving links
+  const auto& node = *switches_.at(static_cast<std::size_t>(sw));
+  for (std::size_t p = 0; p < node.port_count(); ++p) {
+    const int peer = node.out(p).peer_switch;
+    if (peer < 0 || dist[static_cast<std::size_t>(peer)] != here - 1) continue;
+    if (!link_routed_up(sw, peer)) continue;
+    ports.push_back(p);
+  }
+  return ports;
+}
+
+bool Fabric::request_reroute(int src, int dst) {
+  if (!cfg_.routing.adaptive) return false;
+  if (reroute_requests_ != nullptr) reroute_requests_->add(eng_.now(), 1);
+  eng_.tracer().instant(trace::Category::kRouting, src,
+                        "routing/reroute_request", eng_.now(), dst);
+  // A dead host port cannot be routed around — each host has a single
+  // attachment — so fail fast and let the caller escalate terminally.
+  if (!host_port(src).link_up || !host_port(dst).link_up) return false;
+  // Each pass either finds the live route clean, declares one more dark
+  // link (and re-converges), or proves there is no alternate.  At most
+  // one declaration per interior link bounds the loop.
+  const std::size_t hop_cap = switches_.size() + 1;
+  for (std::size_t pass = 0; pass <= link_health_.size() + switches_.size();
+       ++pass) {
+    int sw = plan_.hosts.at(static_cast<std::size_t>(src)).sw;
+    bool declared = false;
+    bool clean = false;
+    for (std::size_t hops = 0; hops < hop_cap; ++hops) {
+      const auto& port = switches_[static_cast<std::size_t>(sw)]->out(
+          live_port_to(sw, dst));
+      if (port.host >= 0) {
+        clean = true;
+        break;
+      }
+      const int peer = port.peer_switch;
+      if (!port.link_up) {
+        if (!link_routed_up(sw, peer)) {
+          // Re-convergence already knows and still has no way around it:
+          // the destination is unreachable over surviving links.
+          return false;
+        }
+        // End-to-end evidence: declare the dark link without waiting out
+        // the probe window, re-converge, and re-walk the new route.
+        declare_link(std::min(sw, peer), std::max(sw, peer), false);
+        declared = true;
+        break;
+      }
+      sw = peer;
+    }
+    if (clean) return true;
+    if (!declared) return false;  // stale-route walk exceeded the cap
+  }
+  return false;
 }
 
 }  // namespace acc::net

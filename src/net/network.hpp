@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -51,12 +53,41 @@ class Endpoint {
   virtual void deliver(const Frame& frame) = 0;
 };
 
+/// Fault-aware adaptive routing knobs.  Off by default: with
+/// `adaptive = false` the fabric forwards over the static topology
+/// tables forever and emits no kRouting trace records, so every
+/// pre-existing run (and its digest) is bit-identical.
+///
+/// With `adaptive = true` the fabric maintains a per-interior-link
+/// health state driven by two deterministic signals:
+///   * heartbeat probes — a physical state change schedules a detection
+///     check `down_probes` (resp. `up_probes`) probe intervals later;
+///     the link is declared failed/recovered only if the state still
+///     holds then (hysteresis: a flap shorter than the probe window
+///     never reaches the routing plane);
+///   * consecutive-drop counters — `drop_threshold` back-to-back frames
+///     lost at a dark interior port declare it failed immediately
+///     (data-driven fast path); any successful forward resets the count.
+/// Gilbert–Elliott burst loss is applied at injection, never at interior
+/// ports, so bursty loss cannot flap routes by construction.
+/// A declared state change bumps the route epoch and re-converges the
+/// next-port tables (see Fabric::request_reroute for the end-to-end
+/// escalation path).
+struct RoutingConfig {
+  bool adaptive = false;
+  int drop_threshold = 3;
+  int down_probes = 3;
+  int up_probes = 2;
+  Time probe_interval = Time::micros(100.0);
+};
+
 struct NetworkConfig {
   Bandwidth line_rate = Bandwidth::gbit_per_sec(1.0);
   Time link_latency = Time::micros(1.0);    // cable + PHY each way
   Time switch_latency = Time::micros(4.0);  // forwarding decision per hop
   Bytes port_buffer = Bytes::kib(512);      // output buffer per port
   TopologyConfig topology{};                // default: single star switch
+  RoutingConfig routing{};                  // default: static tables
 };
 
 /// One store-and-forward switch: a set of output ports, each with a
@@ -169,8 +200,44 @@ class Fabric {
   /// degraded) rates: ingress link + per hop (switch latency +
   /// serialization + link).  wire = 0 gives the pure propagation floor.
   /// This is what protocol timers should seed from — on a single star it
-  /// reduces to link + switch + serialization + link.
+  /// reduces to link + switch + serialization + link.  Follows the
+  /// *live* tables, so after a re-convergence it prices the alternate
+  /// route the frames actually take.
   Time path_latency(int src, int dst, Bytes wire = Bytes::zero()) const;
+
+  // ------------------------------------------------------------------
+  // Adaptive routing (RoutingConfig; inert while adaptive = false).
+  // ------------------------------------------------------------------
+
+  bool adaptive_routing() const { return cfg_.routing.adaptive; }
+
+  /// Times the routing plane re-converged (0 until a link-health change
+  /// is declared).  Same seed + same fault plan → same epoch trajectory.
+  std::uint64_t route_epoch() const { return route_epoch_; }
+
+  /// Interior links currently declared failed by the routing plane
+  /// (normalized (min, max) switch pairs, ascending).
+  std::vector<std::pair<int, int>> links_declared_down() const;
+
+  /// All output ports of `sw` that lie on some minimal path to `dst`
+  /// over the links the routing plane believes are up — the ECMP
+  /// candidate set re-convergence picks from (ascending port index ==
+  /// ascending link id; the live table holds candidates[dst % n]).  If
+  /// `dst` attaches at `sw` this is just its host port; empty when `dst`
+  /// is unreachable from `sw` over surviving links.
+  std::vector<std::size_t> ecmp_ports(int sw, int dst) const;
+
+  /// End-to-end failover escalation hook (INIC go-back-N and TCP RTO
+  /// planes call this when their retry budgets run dry): walks the live
+  /// route src -> dst, declares any physically-dark link on it failed
+  /// (retry exhaustion is end-to-end evidence, so detection does not
+  /// wait out the probe window), re-converges, and repeats until the
+  /// route is clean or no alternate exists.  Returns true when the
+  /// caller should re-arm and retry (the live route is now viable),
+  /// false when routing is disabled or the destination is unreachable
+  /// over surviving links — the caller then escalates terminally
+  /// (PeerUnreachableError) exactly as before.
+  bool request_reroute(int src, int dst);
 
   // Fabric statistics are trace counters: the report reads the same
   // instrumentation the trace timeline records.
@@ -263,14 +330,57 @@ class Fabric {
   void set_port_buffer_factor(int node, double factor);
 
  private:
+  /// Health the routing plane tracks per undirected interior link,
+  /// keyed by the normalized (min, max) switch pair.
+  struct LinkHealth {
+    bool routed_up = true;        // what re-convergence believes
+    int consecutive_drops = 0;    // back-to-back losses at a dark port
+    std::uint64_t probe_epoch = 0;  // invalidates in-flight probe checks
+  };
+
   Switch::OutPort& host_port(int node);
   const Switch::OutPort& host_port(int node) const;
   void forward_at(int sw, Frame frame);
+
+  /// True while the physical interior link (both directions) is up.
+  bool interior_phys_up(int sw_a, int sw_b) const;
+  /// What the routing plane believes (defaults to up, links it has
+  /// never heard about included).
+  bool link_routed_up(int sw_a, int sw_b) const;
+  /// Consecutive-drop fast path: a frame lost at a dark interior port.
+  void note_interior_drop(int sw_a, int sw_b);
+  /// A frame successfully serialized across an interior link.
+  void note_interior_success(int sw_a, int sw_b);
+  /// Heartbeat hysteresis: fires `probes` intervals after a physical
+  /// state change; declares the link only if the state still holds and
+  /// no newer change superseded this check (epoch match).
+  void probe_check(int lo, int hi, std::uint64_t epoch, bool expect_up);
+  /// Commits a routed-state change (traced under kRouting) and
+  /// re-converges.  No-op if the link is already in that state.
+  void declare_link(int lo, int hi, bool up);
+  /// Rebuilds the live next-port tables over surviving links: ECMP among
+  /// minimal paths, candidates in ascending link id, spread by
+  /// `dst % candidates`.  Bumps route_epoch_.
+  void reconverge();
+  std::size_t live_port_to(int sw, int dst) const {
+    return routing_.empty()
+               ? plan_.port_to(sw, dst)
+               : routing_[static_cast<std::size_t>(sw) * plan_.hosts.size() +
+                          static_cast<std::size_t>(dst)];
+  }
 
   sim::Engine& eng_;
   NetworkConfig cfg_;
   TopologyPlan plan_;
   std::vector<std::unique_ptr<Switch>> switches_;
+  // Live next-port tables (empty until the first re-convergence; the
+  // static plan_ tables serve until then, so the inert path allocates
+  // and copies nothing).
+  std::vector<std::uint16_t> routing_;
+  std::map<std::pair<int, int>, LinkHealth> link_health_;
+  std::uint64_t route_epoch_ = 0;
+  trace::Counter* route_epochs_ = nullptr;      // net/route_epoch
+  trace::Counter* reroute_requests_ = nullptr;  // net/reroute_requests
   double loss_probability_ = 0.0;
   std::unique_ptr<Rng> loss_rng_;
   std::unique_ptr<fault::GilbertElliott> burst_loss_;

@@ -33,7 +33,9 @@ TcpStack::TcpStack(hw::Node& node, net::StandardNic& nic, const TcpConfig& cfg)
       timeouts_(node.engine().counters().get(trace::Category::kTcp, node.id(),
                                              "tcp/timeouts")),
       backoffs_(node.engine().counters().get(trace::Category::kTcp, node.id(),
-                                             "tcp/rto_backoffs")) {
+                                             "tcp/rto_backoffs")),
+      reroutes_(node.engine().counters().get(trace::Category::kTcp, node.id(),
+                                             "tcp/reroutes")) {
   nic_.set_rx_handler([this](const net::Frame& f) { on_frame(f); });
 }
 
@@ -169,6 +171,17 @@ sim::Process TcpStack::send_message(int dst, Bytes size, std::uint64_t tag,
           e.tracer().instant(trace::Category::kTcp, node_.id(),
                              "tcp/rto_backoff", e.now(),
                              static_cast<std::int64_t>(c.backoff_shift));
+        }
+        // Escalation: repeated backoffs on one connection are end-to-end
+        // evidence of a dead path, not congestion.  Ask the fabric for an
+        // alternate route; a grant resets the backoff so the retransmit
+        // probes the new path at the un-inflated RTO.
+        if (c.backoff_shift >= cfg_.reroute_after_backoffs &&
+            nic_.network().request_reroute(node_.id(), c.peer)) {
+          c.backoff_shift = 0;
+          reroutes_.add(e.now(), 1);
+          e.tracer().instant(trace::Category::kTcp, node_.id(), "tcp/reroute",
+                             e.now(), static_cast<std::int64_t>(c.peer));
         }
         if (c.ack_event) c.ack_event->trigger();
       }

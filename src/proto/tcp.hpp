@@ -50,6 +50,11 @@ struct TcpConfig {
   /// Per-packet wire overhead: Ethernet framing + IP + TCP headers.
   Bytes per_packet_overhead = Bytes(78);  // 38 framing + 40 IP/TCP
   Bytes ack_wire_size = Bytes(78 + 0);    // header-only segment on the wire
+  /// After this many consecutive RTO backoffs on one connection the stack
+  /// asks the fabric for a reroute (Fabric::request_reroute); a granted
+  /// reroute resets the backoff and the next retransmission takes the
+  /// alternate path.  Inert unless the fabric runs adaptive routing.
+  int reroute_after_backoffs = 3;
 };
 
 /// One node's TCP endpoint: owns all connections originating or
@@ -75,6 +80,8 @@ class TcpStack {
   std::uint64_t timeouts() const { return timeouts_.value(); }
   /// Times the RTO was doubled by consecutive timeouts on the same data.
   std::uint64_t backoffs() const { return backoffs_.value(); }
+  /// Reroutes granted by the fabric after repeated backoffs.
+  std::uint64_t reroutes() const { return reroutes_.value(); }
 
   const TcpConfig& config() const { return cfg_; }
 
@@ -124,6 +131,7 @@ class TcpStack {
   trace::Counter& retransmits_;
   trace::Counter& timeouts_;
   trace::Counter& backoffs_;
+  trace::Counter& reroutes_;
 };
 
 }  // namespace acc::proto

@@ -2,18 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
 #include "collectives/collectives.hpp"
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "model/calibration.hpp"
 #include "model/fft_model.hpp"
 #include "model/sort_model.hpp"
 #include "net/topology.hpp"
+#include "sim/process.hpp"
 
 namespace acc::runner {
 
@@ -221,7 +225,351 @@ RunMetrics collective_metrics(apps::CollectiveBackend backend,
   return m;
 }
 
+// ---------------------------------------------------------------------
+// Failover-recovery suite.
+// ---------------------------------------------------------------------
+
+apps::ClusterOptions failover_cluster_options(
+    const net::TopologyConfig& topo, apps::CollectiveBackend backend) {
+  apps::ClusterOptions opts;
+  opts.inic_hw_retransmit = true;  // go-back-N is the recovery engine
+  opts.inic_max_retries = 8;
+  opts.degraded_fallback = false;  // fabric failover must carry the day
+  opts.adaptive_routing = true;
+  opts.topology = topo;
+  opts.collective_backend = backend;
+  return opts;
+}
+
+/// Interior links incident to host 0's attach switch, normalized and
+/// deduplicated — the cut candidates (host 0's off-switch traffic is
+/// guaranteed to cross one of them).
+std::vector<std::pair<int, int>> failover_cut_candidates(net::Network& net) {
+  const auto& plan = net.plan();
+  const int sw = plan.hosts.front().sw;
+  std::vector<std::pair<int, int>> links;
+  for (const auto& port : plan.switches[static_cast<std::size_t>(sw)].ports) {
+    if (port.peer_switch < 0) continue;
+    const auto key = std::make_pair(std::min(sw, port.peer_switch),
+                                    std::max(sw, port.peer_switch));
+    if (std::find(links.begin(), links.end(), key) == links.end()) {
+      links.push_back(key);
+    }
+  }
+  return links;
+}
+
+/// One failover point: allreduce spanning `cuts` permanent interior-link
+/// failures, a broadcast after re-convergence, then a 256 KiB bulk
+/// transfer over the re-converged route to measure post-failover
+/// goodput.  Recovery latency is the gap from the first cut's fault edge
+/// to the fabric's first re-convergence instant (kRouting records).
+RunMetrics failover_metrics(apps::CollectiveBackend backend,
+                            const net::TopologyConfig& topo, std::size_t p,
+                            int cuts) {
+  constexpr std::size_t kElements = 256;
+  // Healthy yardstick: the same collectives with no faults, used to
+  // place the cut instants at meaningful fractions of the timeline.
+  Time clean = Time::zero();
+  {
+    apps::SimCluster cluster(p, apps::Interconnect::kInicIdeal,
+                             model::default_calibration(),
+                             failover_cluster_options(topo, backend));
+    if (!coll::topology_allreduce(cluster, kElements, 5).verified ||
+        !coll::topology_broadcast(cluster, kElements, 6).verified) {
+      throw std::runtime_error("clean collective failed verification");
+    }
+    clean = cluster.engine().now();
+  }
+
+  apps::SimCluster cluster(p, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(),
+                           failover_cluster_options(topo, backend));
+  cluster.tracer().enable(/*ring_capacity=*/0);  // retain kRouting records
+  cluster.engine().set_time_budget(Time::seconds(5));
+  const auto links = failover_cut_candidates(cluster.network());
+  if (links.size() <= static_cast<std::size_t>(cuts)) {
+    throw std::runtime_error("cut plan would strand the attach switch");
+  }
+  const Time first_cut = clean * 0.25;
+  fault::FaultPlan plan;
+  for (int c = 0; c < cuts; ++c) {
+    plan.with_interior_link_failed(links[static_cast<std::size_t>(c)].first,
+                                   links[static_cast<std::size_t>(c)].second,
+                                   clean * (0.25 + 0.15 * c));
+  }
+  fault::FaultInjector injector(cluster, plan);
+
+  const auto ar = coll::topology_allreduce(cluster, kElements, 5);
+  const auto bc = coll::topology_broadcast(cluster, kElements, 6);
+  if (!ar.verified || !bc.verified) {
+    throw std::runtime_error("faulted collective failed verification");
+  }
+  const Time collectives_end = cluster.engine().now();
+
+  // Post-failover goodput: one bulk message host 0 -> host p-1, timed
+  // end to end (send through delivery) over the re-converged tables.
+  const Bytes bulk = Bytes::kib(256);
+  {
+    sim::ProcessGroup group(cluster.engine());
+    group.spawn(cluster.transfer(0, static_cast<int>(p) - 1, bulk, 77));
+    group.spawn([](apps::SimCluster& c, std::size_t dst) -> sim::Process {
+      (void)co_await c.inbox(dst).recv();
+    }(cluster, p - 1));
+    group.join();
+  }
+  const Time bulk_time = cluster.engine().now() - collectives_end;
+
+  // First re-convergence at or after the first cut.
+  Time reconverged = Time::zero();
+  for (const auto& r : cluster.tracer().records()) {
+    if (r.category != trace::Category::kRouting) continue;
+    if (std::strcmp(r.name, "routing/reconverge") != 0) continue;
+    if (r.ts < first_cut) continue;
+    reconverged = r.ts;
+    break;
+  }
+  std::uint64_t peers_lost = 0;
+  std::uint64_t reroute_grants = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    peers_lost += cluster.card(i).peers_lost();
+    reroute_grants += cluster.card(i).reroutes();
+  }
+  if (peers_lost != 0) {
+    throw std::runtime_error("failover wrote a peer off as unreachable");
+  }
+  std::int64_t reroute_requests = 0;
+  for (const auto& s : cluster.engine().counters().snapshot()) {
+    if (s.name == "net/reroute_requests") {
+      reroute_requests = s.value;
+    }
+  }
+
+  RunMetrics m;
+  m.sim_time = cluster.engine().now();
+  m.counters = {
+      {"clean_ns", clean.as_nanos()},
+      {"faulted_ns", collectives_end.as_nanos()},
+      {"cut_ns", first_cut.as_nanos()},
+      {"recovery_latency_ns", (reconverged - first_cut).as_nanos()},
+      {"route_epochs",
+       static_cast<std::int64_t>(cluster.network().route_epoch())},
+      {"reroute_requests", reroute_requests},
+      {"reroute_grants", static_cast<std::int64_t>(reroute_grants)},
+      {"goodput_bytes_per_s",
+       static_cast<std::int64_t>(static_cast<double>(bulk.count()) /
+                                 bulk_time.as_seconds())},
+  };
+  capture_run(cluster, m);
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// Chaos-recovery suite.
+// ---------------------------------------------------------------------
+
+apps::ClusterOptions chaos_cluster_options() {
+  apps::ClusterOptions opts;
+  opts.inic_hw_retransmit = true;
+  opts.inic_max_retries = 16;
+  opts.degraded_fallback = true;
+  return opts;
+}
+
+constexpr std::size_t kChaosFftN = 256;
+constexpr std::size_t kChaosSortKeys = std::size_t{1} << 16;
+
+/// Clean-run durations, memoized process-wide (thread-safe static init)
+/// so pooled points share one baseline measurement per app.
+Time chaos_clean_total(bool fft) {
+  static const Time fft_total = [] {
+    apps::SimCluster cluster(4, apps::Interconnect::kInicIdeal,
+                             model::default_calibration(),
+                             chaos_cluster_options());
+    return apps::run_parallel_fft(cluster, kChaosFftN, {}).total;
+  }();
+  static const Time sort_total = [] {
+    apps::SimCluster cluster(4, apps::Interconnect::kInicIdeal,
+                             model::default_calibration(),
+                             chaos_cluster_options());
+    apps::SortRunOptions opts;
+    opts.verify = false;
+    return apps::run_parallel_sort(cluster, kChaosSortKeys, opts).total;
+  }();
+  return fft ? fft_total : sort_total;
+}
+
+fault::FaultPlan chaos_plan_none(Time) { return {}; }
+
+fault::FaultPlan chaos_plan_burst_loss(Time clean) {
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.5;
+  fault::FaultPlan plan;
+  plan.with_burst_loss(clean * 0.05, clean * 3.0, ge);
+  return plan;
+}
+
+fault::FaultPlan chaos_plan_corruption(Time clean) {
+  fault::FaultPlan plan;
+  plan.with_corruption(clean * 0.05, clean * 3.0, 0.05);
+  return plan;
+}
+
+fault::FaultPlan chaos_plan_link_flap(Time clean) {
+  fault::FaultPlan plan;
+  plan.with_link_down(1, clean * 0.30, clean * 0.05);
+  return plan;
+}
+
+fault::FaultPlan chaos_plan_card_reset(Time clean) {
+  fault::FaultPlan plan;
+  plan.with_card_reset(2, clean * 0.10, clean * 0.25);
+  return plan;
+}
+
+fault::FaultPlan chaos_plan_slow_port(Time clean) {
+  fault::FaultPlan plan;
+  plan.with_port_degrade(1, clean * 0.10, clean * 0.60, /*rate_factor=*/0.1);
+  return plan;
+}
+
+fault::FaultPlan chaos_plan_everything(Time clean) {
+  fault::FaultPlan plan = chaos_plan_burst_loss(clean);
+  plan.with_corruption(clean * 0.05, clean * 3.0, 0.05)
+      .with_link_down(1, clean * 0.40, clean * 0.05)
+      .with_card_reset(2, clean * 0.10, clean * 0.25);
+  return plan;
+}
+
+/// One chaos point: the scenario's fault plan against a verified FFT or
+/// sort run on the hardened 4-node INIC cluster.
+RunMetrics chaos_recovery_metrics(bool fft,
+                                  fault::FaultPlan (*make_plan)(Time)) {
+  const Time clean = chaos_clean_total(fft);
+  apps::SimCluster cluster(4, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(),
+                           chaos_cluster_options());
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  cluster.engine().set_time_budget(Time::seconds(30));
+  fault::FaultInjector injector(cluster, make_plan(clean));
+  Time total = Time::zero();
+  bool verified = false;
+  if (fft) {
+    apps::FftRunOptions opts;
+    opts.verify = true;
+    const auto r = apps::run_parallel_fft(cluster, kChaosFftN, opts);
+    total = r.total;
+    verified = r.verified;
+  } else {
+    apps::SortRunOptions opts;
+    opts.verify = true;
+    const auto r = apps::run_parallel_sort(cluster, kChaosSortKeys, opts);
+    total = r.total;
+    verified = r.verified;
+  }
+  if (!verified) {
+    throw std::runtime_error("faulted run failed verification");
+  }
+  std::int64_t retransmits = 0;
+  std::int64_t crc_drops = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    retransmits += static_cast<std::int64_t>(cluster.card(i).retransmits());
+    crc_drops += static_cast<std::int64_t>(cluster.card(i).crc_drops());
+  }
+  RunMetrics m;
+  m.sim_time = total;
+  m.counters = {
+      {"clean_ns", clean.as_nanos()},
+      {"faulted_ns", total.as_nanos()},
+      {"fault_events", static_cast<std::int64_t>(injector.events_fired())},
+      {"fallback_transfers",
+       static_cast<std::int64_t>(cluster.fallback_transfers())},
+      {"retransmits", retransmits},
+      {"crc_drops", crc_drops},
+      {"net_drops",
+       static_cast<std::int64_t>(cluster.network().frames_dropped())},
+  };
+  capture_run(cluster, m);
+  return m;
+}
+
 }  // namespace
+
+std::vector<RunPoint> failover_points(bool reduced) {
+  struct Grid {
+    const char* label;   // "topology" param
+    net::TopologyConfig config;
+    std::size_t p;
+    int cuts;
+    bool full_only;
+  };
+  const std::vector<Grid> grid = {
+      {"fattree2", net::TopologyConfig::fat_tree(2), 16, 1, false},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 16, 2, true},
+      {"fattree3", net::TopologyConfig::fat_tree(3), 16, 1, true},
+      {"torus2", net::TopologyConfig::torus(2), 8, 1, false},
+      {"torus3", net::TopologyConfig::torus(3, 2, 2, 2), 8, 2, true},
+  };
+  std::vector<RunPoint> points;
+  for (const auto& g : grid) {
+    if (reduced && g.full_only) continue;
+    for (auto backend : {apps::CollectiveBackend::kHost,
+                         apps::CollectiveBackend::kNic}) {
+      const net::TopologyConfig topo = g.config;
+      const std::size_t p = g.p;
+      const int cuts = g.cuts;
+      points.push_back(RunPoint{
+          "failover_recovery",
+          std::string(apps::to_string(backend)) + "/" + g.label +
+              "/P=" + num(p) + "/cuts=" + std::to_string(cuts),
+          {{"collective_backend", apps::to_string(backend)},
+           {"topology", g.label},
+           {"P", num(p)},
+           {"cuts", std::to_string(cuts)}},
+          [backend, topo, p, cuts] {
+            return failover_metrics(backend, topo, p, cuts);
+          }});
+    }
+  }
+  return points;
+}
+
+std::vector<RunPoint> chaos_recovery_points(bool reduced) {
+  struct Scenario {
+    const char* label;
+    fault::FaultPlan (*plan)(Time);
+    bool full_only;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"clean", chaos_plan_none, false},
+      {"burst_loss", chaos_plan_burst_loss, false},
+      {"corruption", chaos_plan_corruption, true},
+      {"link_flap", chaos_plan_link_flap, true},
+      {"card_reset", chaos_plan_card_reset, false},
+      {"slow_port", chaos_plan_slow_port, true},
+      {"everything", chaos_plan_everything, true},
+  };
+  std::vector<RunPoint> points;
+  for (const auto& s : scenarios) {
+    if (reduced && s.full_only) continue;
+    for (const bool fft : {true, false}) {
+      if (reduced && !fft) continue;  // reduced grid: FFT only
+      auto plan = s.plan;
+      points.push_back(RunPoint{
+          "chaos_recovery",
+          std::string(fft ? "fft" : "sort") + "/" + s.label,
+          {{"app", fft ? "fft" : "sort"},
+           {"scenario", s.label},
+           {"P", "4"},
+           {fft ? "n" : "keys",
+            fft ? num(kChaosFftN) : num(kChaosSortKeys)}},
+          [fft, plan] { return chaos_recovery_metrics(fft, plan); }});
+    }
+  }
+  return points;
+}
 
 std::vector<RunPoint> collective_points(bool reduced) {
   struct Grid {
@@ -408,6 +756,17 @@ std::vector<RunPoint> figure_sweep_points(bool reduced) {
 
   // Collectives: host/TCP vs NIC-resident backend over the fabric grid.
   for (auto& point : collective_points(reduced)) {
+    points.push_back(std::move(point));
+  }
+
+  // Failover: permanent link cuts with adaptive routing (recovery
+  // latency and post-failover goodput per backend).
+  for (auto& point : failover_points(reduced)) {
+    points.push_back(std::move(point));
+  }
+
+  // Chaos: scripted fault storms against verified FFT/sort runs.
+  for (auto& point : chaos_recovery_points(reduced)) {
     points.push_back(std::move(point));
   }
 

@@ -50,4 +50,26 @@ std::vector<RunPoint> topology_scaling_points(bool reduced);
 /// the bench/collectives_compare driver can run just this grid.
 std::vector<RunPoint> collective_points(bool reduced);
 
+/// The failover-recovery suite on its own: permanent interior-link cuts
+/// (single and double) against live collectives on multi-hop fabrics
+/// with adaptive routing on and the degraded TCP fallback OFF, per
+/// backend.  Each point reports the recovery latency (first cut to the
+/// fabric's re-convergence instant), post-failover goodput of a bulk
+/// transfer over the re-converged route, and the route-epoch /
+/// reroute-grant tallies; a point throws (runner marks it failed) if a
+/// collective fails verification or any card writes a peer off.
+/// Included in figure_sweep_points; exposed separately for the
+/// bench/failover_recovery driver.
+std::vector<RunPoint> failover_points(bool reduced);
+
+/// The chaos-recovery suite: the scripted fault storms of
+/// bench/chaos_recovery (bursty loss, corruption, link flap, card
+/// reset, degraded port, all-at-once) against verified FFT and sort
+/// runs on a hardened INIC cluster.  Counters carry the clean-vs-
+/// faulted timelines and the recovery machinery's visible work
+/// (fallback transfers, retransmits, CRC drops).  Included in
+/// figure_sweep_points; exposed separately for the bench/chaos_recovery
+/// driver.
+std::vector<RunPoint> chaos_recovery_points(bool reduced);
+
 }  // namespace acc::runner

@@ -21,6 +21,7 @@ const char* to_string(Category c) {
     case Category::kApp: return "app";
     case Category::kFault: return "fault";
     case Category::kCollective: return "collective";
+    case Category::kRouting: return "routing";
   }
   return "?";
 }

@@ -52,6 +52,7 @@ enum class Category : std::uint8_t {
   kApp,          // application phases
   kFault,        // injected faults (src/fault/) and recovery milestones
   kCollective,   // on-card collective triggers (arm/fire/forward)
+  kRouting,      // link-state health and route re-convergence (src/net/)
 };
 
 const char* to_string(Category c);

@@ -145,7 +145,12 @@ TEST(Integration, GoldenTraceDigestForNicCollectives) {
   EXPECT_TRUE(coll::barrier(cluster).verified);
   EXPECT_TRUE(coll::topology_allreduce(cluster, 128, /*seed=*/5).verified);
 
-  const std::uint64_t kPinnedDigest = 0x3bae27708df7a5e7ULL;
+  // Re-pinned when interior-link counters were normalized to the
+  // undirected s<min>-s<max> name: both directions of a backbone link
+  // now share one counter, so the per-update values in this fat-tree
+  // run's stream changed.  Star-topology runs have no interior links and
+  // kept their digests (see GoldenTraceDigestForSmallFft).
+  const std::uint64_t kPinnedDigest = 0xd623718570a605ebULL;
   char actual[17];
   std::snprintf(actual, sizeof actual, "%016llx",
                 static_cast<unsigned long long>(cluster.tracer().digest()));

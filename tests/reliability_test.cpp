@@ -8,6 +8,7 @@
 
 #include "apps/fft_app.hpp"
 #include "apps/sort_app.hpp"
+#include "fault/fault.hpp"
 #include "hw/node.hpp"
 #include "inic/card.hpp"
 #include "net/network.hpp"
@@ -237,6 +238,57 @@ TEST(Reliability, FftVerifiesUnderLossOnTcp) {
   const auto r = run_parallel_fft(cluster, 64, opts);
   EXPECT_TRUE(r.verified);
   EXPECT_GT(cluster.network().frames_dropped(), 0u);
+}
+
+TEST(Reliability, OverlappingCardResetsOnBothEndpointsFallBackToTcp) {
+  // Both endpoints of the hot communication pairs lose their INIC at the
+  // same time: node 1's reset window fully overlaps node 2's.  Every
+  // transfer between them during the overlap sees BOTH cards dark — the
+  // degraded TCP plane must carry the traffic in both directions, and
+  // the run must still verify bit-correct once the cards come back.
+  apps::ClusterOptions opts;
+  opts.inic_hw_retransmit = true;
+  opts.inic_max_retries = 16;
+  opts.degraded_fallback = true;
+  apps::SimCluster cluster(4, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), opts);
+  cluster.engine().set_time_budget(Time::seconds(5));  // livelock backstop
+
+  // Size the overlapping windows off the healthy timeline so they cover
+  // the first all-to-all regardless of calibration drift.
+  const Time clean = [] {
+    apps::ClusterOptions copts;
+    copts.inic_hw_retransmit = true;
+    copts.inic_max_retries = 16;
+    copts.degraded_fallback = true;
+    apps::SimCluster c(4, apps::Interconnect::kInicIdeal,
+                       model::default_calibration(), copts);
+    return apps::run_parallel_fft(c, 256, {}).total;
+  }();
+  const double t = clean.as_seconds();
+  fault::FaultPlan plan;
+  plan.with_card_reset(1, Time::seconds(t * 0.05), Time::seconds(t * 0.40))
+      .with_card_reset(2, Time::seconds(t * 0.10), Time::seconds(t * 0.45));
+  fault::FaultInjector injector(cluster, plan);
+
+  apps::FftRunOptions run_opts;
+  run_opts.verify = true;
+  const auto r = apps::run_parallel_fft(cluster, 256, run_opts);
+
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(injector.events_fired(), 2u);
+  // Fallback engaged: transfers ran degraded while the cards were dark.
+  EXPECT_GT(cluster.fallback_transfers(), 0u);
+  // Both cards actually cycled through a reset window.
+  EXPECT_GT(cluster.card(1).reset_done_at(), Time::zero());
+  EXPECT_GT(cluster.card(2).reset_done_at(), Time::zero());
+  // Nobody was written off permanently — the windows end and the INIC
+  // plane resumes.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    for (std::size_t j = 0; j < cluster.size(); ++j) {
+      EXPECT_FALSE(cluster.card(i).peer_unreachable(static_cast<int>(j)));
+    }
+  }
 }
 
 TEST(Reliability, LossSlowsTcpDownMeasurably) {
