@@ -1,0 +1,233 @@
+// Serving-tail sweep: the open-loop Zipf-skewed KV workload
+// (docs/SERVING.md) over the (plane × topology × rate × chaos) grid of
+// runner::serving_points — host TCP vs hardened INIC, clean fabric vs
+// sustained ~30% bursty loss.
+//
+// Each point reports the tail of its per-request latency distribution
+// (nearest-rank p50/p99/p999 from the deterministic latency histogram)
+// plus goodput; the JSON lands in BENCH_results.json's schema-v3
+// `latency` object.  The headline question is printed as a gate: does
+// the smart NIC hold a better p99 than the host plane under the same
+// 30%-loss storm?  A NIC point with a p99 at or above its matched host
+// point fails the run (non-zero exit).
+//
+// Usage:
+//   serving_tail [--threads=N] [--points=full|reduced] [--plane=host|nic]
+//                [--topology=NAME] [--out=PATH] [--check-digests]
+//
+// Flags behave as in bench_all / failover_recovery; --check-digests
+// re-runs every point serially and compares digests, counters, and sim
+// times against the pooled run (the latency summary is covered too — it
+// is mirrored into the counters).  This grid also rides in bench_all's
+// sweep as the serving_tail suite.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/bench_json.hpp"
+#include "runner/bench_points.hpp"
+#include "runner/sweep.hpp"
+
+using namespace acc;
+
+namespace {
+
+struct Options {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool reduced = false;
+  bool check_digests = false;
+  std::string plane;     // empty = both
+  std::string topology;  // empty = every shape
+  std::string out = "BENCH_results.json";
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--points=reduced") {
+      opts.reduced = true;
+    } else if (arg == "--points=full") {
+      opts.reduced = false;
+    } else if (arg.rfind("--plane=", 0) == 0) {
+      opts.plane = arg.substr(8);
+      if (opts.plane != "host" && opts.plane != "nic") {
+        std::fprintf(stderr, "unknown plane: %s (host|nic)\n",
+                     opts.plane.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      opts.topology = arg.substr(11);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out = arg.substr(6);
+    } else if (arg == "--check-digests") {
+      opts.check_digests = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string param(const std::vector<std::pair<std::string, std::string>>& ps,
+                  const char* name) {
+  for (const auto& [key, value] : ps) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+/// The host point matching a NIC point: same params except the plane.
+const runner::RunRecord* matched_host(
+    const std::vector<runner::RunRecord>& results,
+    const runner::RunRecord& nic) {
+  for (const auto& r : results) {
+    if (param(r.params, "plane") != "host") continue;
+    if (param(r.params, "topology") == param(nic.params, "topology") &&
+        param(r.params, "rate_hz") == param(nic.params, "rate_hz") &&
+        param(r.params, "chaos") == param(nic.params, "chaos")) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  auto points = runner::serving_points(opts.reduced);
+  // The p99 gate needs the NIC point's host twin, so --plane only trims
+  // the *table*, never the run set, when the gate is in play; filtering
+  // the run set is still right for topology.
+  if (!opts.topology.empty()) {
+    std::vector<runner::RunPoint> kept;
+    for (auto& p : points) {
+      if (param(p.params, "topology") != opts.topology) continue;
+      kept.push_back(std::move(p));
+    }
+    points = std::move(kept);
+  }
+  if (!opts.plane.empty()) {
+    std::vector<runner::RunPoint> kept;
+    for (auto& p : points) {
+      if (param(p.params, "plane") != opts.plane) continue;
+      kept.push_back(std::move(p));
+    }
+    points = std::move(kept);
+  }
+  if (points.empty()) {
+    std::fprintf(stderr, "no points match the plane/topology filter\n");
+    return 2;
+  }
+
+  runner::SweepRunner pool(opts.threads);
+  print_banner("serving_tail: " + std::to_string(points.size()) + " points (" +
+               std::string(opts.reduced ? "reduced" : "full") + ") on " +
+               std::to_string(pool.threads()) + " threads");
+  const auto results = pool.run(points);
+
+  Table table({"point", "responses", "p50 (us)", "p99 (us)", "p999 (us)",
+               "goodput (MB/s)", "net drops", "digest"});
+  int failed = 0;
+  for (const auto& r : results) {
+    table.row().add(r.name);
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s: %s\n", r.name.c_str(), r.error.c_str());
+      table.add("ERROR: " + r.error);
+      for (int i = 0; i < 6; ++i) table.skip();
+      continue;
+    }
+    const runner::LatencySummary& l = r.metrics.latency;
+    table.add(static_cast<std::int64_t>(l.count))
+        .add(static_cast<double>(l.p50_ns) * 1e-3, 1)
+        .add(static_cast<double>(l.p99_ns) * 1e-3, 1)
+        .add(static_cast<double>(l.p999_ns) * 1e-3, 1)
+        .add(static_cast<double>(l.goodput_bytes_per_sec) * 1e-6, 2);
+    std::int64_t drops = 0;
+    for (const auto& [key, value] : r.metrics.counters) {
+      if (key == "net_drops") drops = value;
+    }
+    table.add(drops).add(runner::digest_hex(r.metrics.digest));
+  }
+  table.print();
+
+  if (opts.out != "-") {
+    runner::BenchJsonMeta meta;
+    meta.point_set = opts.reduced ? "reduced" : "full";
+    meta.threads = pool.threads();
+    meta.sweep_wall_ms = pool.last_sweep_wall_ms();
+    std::ofstream out(opts.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+      return 2;
+    }
+    runner::write_bench_json(out, results, meta);
+    std::printf("wrote %s\n", opts.out.c_str());
+  }
+
+  int mismatches = 0;
+  if (opts.check_digests) {
+    std::puts("\n== digest check: re-running every point serially ==");
+    runner::SweepRunner serial_runner(/*threads=*/1);
+    const auto serial = serial_runner.run(points);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = results[i];
+      const auto& b = serial[i];
+      const bool same = a.ok == b.ok && a.metrics.digest == b.metrics.digest &&
+                        a.metrics.sim_time == b.metrics.sim_time &&
+                        a.metrics.counters == b.metrics.counters &&
+                        a.metrics.latency.p50_ns == b.metrics.latency.p50_ns &&
+                        a.metrics.latency.p99_ns == b.metrics.latency.p99_ns &&
+                        a.metrics.latency.p999_ns == b.metrics.latency.p999_ns;
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "DIGEST MISMATCH %s: pooled %s vs serial %s\n",
+                     a.name.c_str(),
+                     runner::digest_hex(a.metrics.digest).c_str(),
+                     runner::digest_hex(b.metrics.digest).c_str());
+      }
+    }
+    if (mismatches == 0) {
+      std::printf("digest check passed: %zu/%zu points reproduce their "
+                  "serial digests and percentiles\n",
+                  serial.size(), serial.size());
+    }
+  }
+
+  // The headline gate: under the same conditions the hardware
+  // retransmission plane must hold a strictly better p99 than the host's
+  // timeout-bound recovery (and no worse on a clean fabric, where both
+  // planes are loss-free and the INIC should win on host costs alone).
+  int regressions = 0;
+  if (opts.plane.empty()) {
+    for (const auto& r : results) {
+      if (!r.ok || param(r.params, "plane") != "nic") continue;
+      const runner::RunRecord* host = matched_host(results, r);
+      if (host == nullptr || !host->ok) continue;
+      const bool chaos = param(r.params, "chaos") != "clean";
+      const std::uint64_t nic_p99 = r.metrics.latency.p99_ns;
+      const std::uint64_t host_p99 = host->metrics.latency.p99_ns;
+      const bool bad = chaos ? nic_p99 >= host_p99 : nic_p99 > host_p99;
+      if (bad) {
+        ++regressions;
+        std::fprintf(stderr,
+                     "TAIL REGRESSION %s: NIC p99 %llu ns vs host %llu ns\n",
+                     r.name.c_str(), static_cast<unsigned long long>(nic_p99),
+                     static_cast<unsigned long long>(host_p99));
+      }
+    }
+    if (regressions == 0) {
+      std::puts("tail check passed: the NIC plane holds a better p99 than "
+                "the host plane at every matched point");
+    }
+  }
+  return (failed || mismatches || regressions) ? 1 : 0;
+}

@@ -1,0 +1,112 @@
+// KV serving walkthrough: the open-loop key-value workload
+// (docs/SERVING.md) on the host TCP plane and the hardened INIC plane,
+// clean and under a sustained ~30% bursty-loss storm.
+//
+//   $ ./kv_serving
+//
+// Clients fire Zipf-skewed GET/PUT requests at a fixed arrival rate —
+// open loop, so a slow response never slows the request stream and the
+// queueing delay it causes lands in the measured latency.  The headline
+// is the tail: under loss, the host plane pays full TCP retransmission
+// timeouts per lost frame while the INIC's hardware go-back-N recovers
+// in round-trip time — watch the p99/p999 gap between the two planes.
+//
+// The run is deterministic: same seed, same storm, same percentiles.
+// Set ACC_TRACE_DIGEST=1 to print the digest per cluster —
+// scripts/check_determinism.sh replays this demo twice and compares.
+#include <cstdio>
+
+#include "core/acc.hpp"
+
+using namespace acc;
+
+namespace {
+
+struct PlaneResult {
+  apps::KvRunResult clean;
+  apps::KvRunResult chaos;
+};
+
+apps::ClusterOptions plane_options(bool nic) {
+  apps::ClusterOptions copts;
+  if (nic) {
+    copts.inic_hw_retransmit = true;
+    copts.inic_max_retries = 0;  // retry forever; lateness, not loss
+  }
+  return copts;
+}
+
+// ~30% average loss in bursts: 1/3 of the time in a bad state that
+// drops 90% of frames (Gilbert-Elliott).
+fault::FaultPlan storm() {
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.1;
+  ge.p_bad_to_good = 0.2;
+  ge.loss_bad = 0.9;
+  fault::FaultPlan plan;
+  plan.with_seed(2026).with_burst_loss(Time::micros(50), Time::seconds(2), ge);
+  return plan;
+}
+
+apps::KvRunResult run_plane(bool nic, bool chaos,
+                            const apps::KvRunOptions& opts) {
+  apps::SimCluster cluster(
+      opts.clients + opts.servers,
+      nic ? apps::Interconnect::kInicIdeal : apps::Interconnect::kGigabitTcp,
+      model::default_calibration(), plane_options(nic));
+  cluster.engine().set_time_budget(Time::seconds(30));  // watchdog backstop
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<fault::FaultInjector>(cluster, storm());
+  }
+  return run_kv_serving(cluster, opts);
+}
+
+void add_row(Table& table, const char* label, const apps::KvRunResult& r) {
+  table.row()
+      .add(label)
+      .add(static_cast<std::int64_t>(r.responses))
+      .add(r.p50.as_micros())
+      .add(r.p99.as_micros())
+      .add(r.p999.as_micros())
+      .add(static_cast<double>(r.goodput_bytes_per_sec) / 1e6)
+      .add(r.verified ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  apps::KvRunOptions opts;
+  opts.clients = 4;
+  opts.servers = 4;
+  opts.requests_per_client = 64;
+  opts.rate_hz = 20000.0;
+
+  std::printf(
+      "KV serving demo: %zu clients -> %zu shards, Zipf(%.2f) keys,\n"
+      "open-loop Poisson arrivals at %.0f req/s per client\n\n",
+      opts.clients, opts.servers, opts.zipf_theta, opts.rate_hz);
+
+  bool all_ok = true;
+  for (const bool nic : {false, true}) {
+    PlaneResult pr;
+    pr.clean = run_plane(nic, /*chaos=*/false, opts);
+    pr.chaos = run_plane(nic, /*chaos=*/true, opts);
+    all_ok = all_ok && pr.clean.verified && pr.chaos.verified;
+
+    std::printf("%s plane:\n", nic ? "INIC (hw go-back-N)" : "host TCP");
+    Table table({"scenario", "responses", "p50 us", "p99 us", "p999 us",
+                 "goodput MB/s", "verified"});
+    add_row(table, "clean fabric", pr.clean);
+    add_row(table, "~30% bursty loss", pr.chaos);
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Every response carried the right value on both planes; the loss\n"
+      "storm only moved the *tail*.  The INIC recovers lost frames in\n"
+      "hardware at round-trip granularity, so its p99 degrades far less\n"
+      "than the host plane's timeout-bound TCP recovery.\n");
+  return all_ok ? 0 : 1;
+}

@@ -65,10 +65,13 @@ aslr_wrap() {
 # (host trees over TCP and INIC plus the card-resident NIC engine's
 # trigger tables), and failover_demo the adaptive-routing plane (a
 # permanent mid-collective link cut: link-state detection instants,
-# deterministic re-convergence, go-back-N reroute escalation) —
-# together covering the healthy, faulted, multi-hop, on-card-collective
-# and failover parts of the determinism contract (docs/FAULTS.md,
-# docs/NETWORK.md, docs/COLLECTIVES.md).
+# deterministic re-convergence, go-back-N reroute escalation), and
+# kv_serving the open-loop serving workload (Poisson arrivals, Zipf
+# keys, per-request latency histogram, with a sustained bursty-loss
+# storm on both transport planes) — together covering the healthy,
+# faulted, multi-hop, on-card-collective, failover and serving parts of
+# the determinism contract (docs/FAULTS.md, docs/NETWORK.md,
+# docs/COLLECTIVES.md, docs/SERVING.md).
 digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
   local mode="$1" loc="$2" probe="$3"
   aslr_wrap "$mode" env LC_ALL="$loc" ACC_TRACE_DIGEST=1 \
@@ -78,7 +81,7 @@ digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
 
 fail=0
 for probe in quickstart fault_injection topology_demo collective_offload \
-             failover_demo; do
+             failover_demo kv_serving; do
   echo "== cross-environment digest comparison (examples/$probe) =="
   baseline="$(digests_of varied C "$probe")"
   if [[ -z "$baseline" ]]; then

@@ -241,6 +241,47 @@ std::vector<Key> gaussian_keys(std::size_t count, std::uint64_t seed,
   return keys;
 }
 
+ZipfTable::ZipfTable(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfTable: n must be positive");
+  if (!(theta >= 0.0)) {  // catches NaN too
+    throw std::invalid_argument("ZipfTable: theta must be >= 0");
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard the binary search against rounding
+}
+
+std::size_t ZipfTable::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                   : it - cdf_.begin());
+}
+
+Key zipf_rank_key(std::size_t rank) {
+  // splitmix64 finalizer: spreads consecutive ranks across the 32-bit
+  // key space so top-bit bucketing does not pin all hot keys to bucket 0.
+  std::uint64_t z = static_cast<std::uint64_t>(rank) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<Key>(z >> 32);
+}
+
+std::vector<Key> zipf_keys(std::size_t count, std::size_t n, double theta,
+                           std::uint64_t seed) {
+  const ZipfTable table(n, theta);
+  Rng rng(seed);
+  std::vector<Key> keys(count);
+  for (auto& k : keys) k = zipf_rank_key(table.sample(rng));
+  return keys;
+}
+
 std::vector<Key> choose_splitters(std::span<const Key> sample,
                                   std::size_t num_buckets) {
   if (num_buckets < 2) return {};

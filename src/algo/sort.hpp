@@ -24,6 +24,8 @@
 #include <span>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace acc::algo {
 
 using Key = std::uint32_t;
@@ -79,6 +81,38 @@ std::vector<Key> uniform_keys(std::size_t count, std::uint64_t seed);
 /// Top-bit bucketing concentrates these into the middle buckets.
 std::vector<Key> gaussian_keys(std::size_t count, std::uint64_t seed,
                                double sigma = 1u << 29);
+
+/// Zipf(theta) rank sampler over [0, n): P(rank r) proportional to
+/// 1/(r+1)^theta.  theta = 0 is uniform; ~0.99 is the classic web/KV
+/// popularity skew (YCSB's default).  The cumulative table is built once
+/// (O(n)); each sample is a binary search consuming exactly one draw
+/// from the caller's Rng — deterministic per (n, theta, seed, draw
+/// index), which the serving workload's digest contract relies on.
+class ZipfTable {
+ public:
+  ZipfTable(std::size_t n, double theta);
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+  /// Rank in [0, n): 0 is the hottest key.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  double theta_ = 0.0;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+/// Zipf-skewed 32-bit keys: rank-0 is the most frequent value.  Ranks
+/// are mixed through splitmix64 so top-bit bucketing (bucket_index)
+/// spreads the hot ranks pseudo-randomly across buckets — the shard
+/// mapping the KV serving workload uses.
+std::vector<Key> zipf_keys(std::size_t count, std::size_t n, double theta,
+                           std::uint64_t seed);
+
+/// The rank -> key mixing used by zipf_keys (exposed so consumers can
+/// map a sampled rank to the same key value).
+Key zipf_rank_key(std::size_t rank);
 
 /// Sampling pre-sort phase (Section 3.2: "sampling in a pre-sort phase
 /// helps address the shortcomings of our assumption by leading to a more

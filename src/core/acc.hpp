@@ -24,6 +24,7 @@
 #include "algo/transpose.hpp"
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
+#include "apps/kv_app.hpp"
 #include "apps/sort_app.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"

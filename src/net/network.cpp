@@ -234,7 +234,9 @@ std::vector<Fabric::InteriorLinkStats> Fabric::interior_link_stats() const {
       s.frames = port.frames_out;
       s.bytes = port.bytes_out;
       s.peak_queue = port.peak;
-      s.drops = port.drops;
+      s.drops = port.drops();
+      s.drops_congestion = port.drops_congestion;
+      s.drops_link = port.drops_link;
       stats.push_back(s);
     }
   }
@@ -309,7 +311,7 @@ void Fabric::forward_at(int sw, Frame frame) {
   // frame already in flight when a backbone link fails is lost at the
   // failed hop — not retroactively at injection.
   if (port.peer_switch >= 0 && !port.link_up) {
-    ++port.drops;
+    ++port.drops_link;
     dropped_.add(eng_.now(), 1);
     link_dropped_.add(eng_.now(), 1);
     eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
@@ -322,6 +324,11 @@ void Fabric::forward_at(int sw, Frame frame) {
     dropped_.add(eng_.now(), 1);
     eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
                           eng_.now(), static_cast<std::int64_t>(frame.id));
+    // Deliberately NOT note_interior_drop(): a drop-tail overflow is a
+    // congestion signal on a live link, never link-health evidence.
+    // Only dark-link losses (above) and heartbeat probes may declare
+    // link_down, so an incast storm cannot flip route_epoch
+    // (tests/routing_test.cpp IncastStorm*).
     return;  // drop-tail: the whole burst is lost
   }
   if (port.buffered > peak_occupancy_) peak_occupancy_ = port.buffered;

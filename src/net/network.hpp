@@ -110,7 +110,15 @@ class Switch {
     // Per-port tallies for interior_link_stats() and reports.
     std::uint64_t frames_out = 0;  // frames fully serialized out
     Bytes bytes_out = Bytes::zero();
-    std::uint64_t drops = 0;  // drop-tail + link-down losses at this port
+    // Loss attribution.  Congestion (drop-tail overflow of a live port)
+    // and link failure (a physically dark link) are different signals:
+    // only the latter may feed the adaptive-routing consecutive-drop
+    // fast path — an incast burst overflowing a healthy port must never
+    // masquerade as a dead link.  drops() keeps the historical summed
+    // value for reports and interior_link_stats() compatibility.
+    std::uint64_t drops_congestion = 0;  // drop-tail losses at this port
+    std::uint64_t drops_link = 0;        // link-down/fault losses
+    std::uint64_t drops() const { return drops_congestion + drops_link; }
     trace::Counter* congestion = nullptr;  // interior links only
   };
 
@@ -127,12 +135,12 @@ class Switch {
   const OutPort& out(std::size_t port) const { return ports_.at(port); }
 
   /// Drop-tail admission into one output buffer: false (and a counted
-  /// drop) when the whole burst does not fit, else the buffer grows and
-  /// the per-port peak updates.
+  /// congestion drop) when the whole burst does not fit, else the buffer
+  /// grows and the per-port peak updates.
   bool admit(std::size_t port, Bytes wire) {
     auto& p = ports_.at(port);
     if (p.buffered + wire > p.capacity) {
-      ++p.drops;
+      ++p.drops_congestion;
       return false;
     }
     p.buffered += wire;
@@ -262,14 +270,20 @@ class Fabric {
   /// Peak occupancy per host-facing port, indexed by node id.
   std::vector<Bytes> per_port_peak_occupancy() const;
 
-  /// Per-directed-interior-link totals (empty on a star).
+  /// Per-directed-interior-link totals (empty on a star).  `drops` keeps
+  /// the historical summed tally; the congestion/link split attributes
+  /// each loss to its cause (drop-tail overflow vs. a dark link) so the
+  /// serving/incast analyses can tell an overloaded port from a failed
+  /// one.
   struct InteriorLinkStats {
     int from_switch = -1;
     int to_switch = -1;
     std::uint64_t frames = 0;
     Bytes bytes = Bytes::zero();
     Bytes peak_queue = Bytes::zero();
-    std::uint64_t drops = 0;
+    std::uint64_t drops = 0;  // == drops_congestion + drops_link
+    std::uint64_t drops_congestion = 0;
+    std::uint64_t drops_link = 0;
   };
   std::vector<InteriorLinkStats> interior_link_stats() const;
 

@@ -9,8 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <vector>
 
 #include "proto/message.hpp"
 #include "sim/channel.hpp"
@@ -29,7 +29,10 @@ class TaggedInbox {
       auto it = stash_.find(tag);
       if (it != stash_.end() && !it->second.empty()) {
         out = std::move(it->second.front());
-        it->second.erase(it->second.begin());
+        // Deque, not vector: serving-style workloads stash thousands of
+        // same-tag messages, and erasing a vector's front made the drain
+        // O(n^2).  pop_front keeps FIFO order (digest-neutral) at O(1).
+        it->second.pop_front();
         if (it->second.empty()) stash_.erase(it);
         co_return;
       }
@@ -51,7 +54,7 @@ class TaggedInbox {
 
  private:
   sim::Channel<Message>& channel_;
-  std::map<std::uint64_t, std::vector<Message>> stash_;
+  std::map<std::uint64_t, std::deque<Message>> stash_;
 };
 
 }  // namespace acc::proto

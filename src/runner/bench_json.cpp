@@ -1,5 +1,6 @@
 #include "runner/bench_json.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -32,6 +33,10 @@ std::string escaped(const std::string& s) {
 }
 
 std::string number(double v) {
+  // JSON has no inf/nan literals; a bare snprintf would emit them and
+  // corrupt the document for strict parsers.  null is the standard
+  // "unrepresentable" marker and keeps the field present.
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", v);
   return buf;
@@ -65,6 +70,18 @@ void write_point(std::ostream& os, const RunRecord& r,
   os << indent << "  \"wall_ns\": " << r.wall_ns << ",\n";
   os << indent << "  \"events\": " << r.metrics.events << ",\n";
   os << indent << "  \"events_per_sec\": " << number(r.events_per_sec());
+  if (r.metrics.latency.present) {
+    const LatencySummary& l = r.metrics.latency;
+    os << ",\n" << indent << "  \"latency\": {";
+    os << "\"count\": " << l.count;
+    os << ", \"p50_ns\": " << l.p50_ns;
+    os << ", \"p99_ns\": " << l.p99_ns;
+    os << ", \"p999_ns\": " << l.p999_ns;
+    os << ", \"mean_ns\": " << l.mean_ns;
+    os << ", \"max_ns\": " << l.max_ns;
+    os << ", \"goodput_bytes_per_sec\": " << l.goodput_bytes_per_sec;
+    os << "}";
+  }
   if (!r.metrics.counters.empty()) {
     os << ",\n" << indent << "  \"counters\": {";
     for (std::size_t i = 0; i < r.metrics.counters.size(); ++i) {
@@ -89,7 +106,7 @@ std::string digest_hex(std::uint64_t digest) {
 void write_bench_json(std::ostream& os, const std::vector<RunRecord>& results,
                       const BenchJsonMeta& meta) {
   os << "{\n";
-  os << "  \"schema\": \"acc-bench-results/v2\",\n";
+  os << "  \"schema\": \"acc-bench-results/v3\",\n";
   os << "  \"point_set\": \"" << escaped(meta.point_set) << "\",\n";
   os << "  \"threads\": " << meta.threads << ",\n";
   os << "  \"sweep_wall_ms\": " << number(meta.sweep_wall_ms) << ",\n";

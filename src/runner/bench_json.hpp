@@ -3,7 +3,7 @@
 // Schema (docs/BENCHMARKS.md is the authoritative description):
 //
 //   {
-//     "schema": "acc-bench-results/v2",
+//     "schema": "acc-bench-results/v3",
 //     "point_set": "full" | "reduced",
 //     "threads": <pool size>,
 //     "sweep_wall_ms": <whole-sweep wall clock>,
@@ -19,6 +19,13 @@
 //             "wall_ns": <same measurement, integer nanoseconds>,
 //             "events":  <engine events executed>,
 //             "events_per_sec": <host dispatch throughput, events/wall>,
+//             "latency": {                  // serving points only
+//               "count":   <completed requests>,
+//               "p50_ns":  <nearest-rank percentile, ns>,
+//               "p99_ns":  <...>, "p999_ns": <...>,
+//               "mean_ns": <...>, "max_ns": <...>,
+//               "goodput_bytes_per_sec": <response payload / makespan>
+//             },
 //             "counters": { "<name>": <int64>, ... }   // body-chosen;
 //                                     // omitted when the body set none
 //           }, ...
@@ -27,9 +34,13 @@
 //     }
 //   }
 //
-// v2 adds the host-perf fields (wall_ns, events_per_sec) so every sweep
+// v2 added the host-perf fields (wall_ns, events_per_sec) so every sweep
 // leaves a wall-clock trajectory to regress engine throughput against,
-// not just simulated times.  Digests are hex *strings* because a 64-bit
+// not just simulated times.  v3 adds the optional per-point `latency`
+// object (tail percentiles + goodput from the deterministic
+// trace::LatencyHistogram of serving-style points) and pins down that
+// non-finite floating-point values serialize as `null`, never inf/nan
+// (which are not JSON).  Digests are hex *strings* because a 64-bit
 // value does not survive a round-trip through JSON numbers.  Suites,
 // points, and params keep the submission order of the sweep, which
 // SweepRunner guarantees is deterministic — so two runs of the same

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
+#include "apps/kv_app.hpp"
 #include "apps/sort_app.hpp"
 #include "collectives/collectives.hpp"
 #include "core/experiment.hpp"
@@ -495,7 +497,130 @@ RunMetrics chaos_recovery_metrics(bool fft,
   return m;
 }
 
+// ---------------------------------------------------------------------
+// Serving suite (open-loop KV tail latency, apps/kv_app.hpp).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kServingClients = 4;
+constexpr std::size_t kServingServers = 4;
+
+apps::ClusterOptions serving_cluster_options(bool nic,
+                                             const net::TopologyConfig& topo) {
+  apps::ClusterOptions opts;
+  opts.topology = topo;
+  if (nic) {
+    opts.inic_hw_retransmit = true;
+    // Retry forever: under chaos the SLO question is "how *late* does a
+    // response get", never "does it arrive" — a give-up would turn a
+    // tail-latency point into a deadlock.
+    opts.inic_max_retries = 0;
+  }
+  return opts;
+}
+
+/// The "30% loss" headline scenario: a Gilbert-Elliott channel that
+/// spends 1/3 of its time (0.1 in, 0.2 out) in a bad state dropping 90%
+/// of frames — ~30% average loss, in bursts rather than i.i.d., covering
+/// the whole run.
+fault::FaultPlan serving_chaos_plan() {
+  fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.1;
+  ge.p_bad_to_good = 0.2;
+  ge.loss_bad = 0.9;
+  fault::FaultPlan plan;
+  plan.with_burst_loss(Time::micros(50), Time::seconds(2), ge);
+  return plan;
+}
+
+RunMetrics serving_metrics(bool nic, net::TopologyConfig topo, bool chaos,
+                           double rate_hz, std::size_t requests_per_client) {
+  apps::SimCluster cluster(
+      kServingClients + kServingServers,
+      nic ? apps::Interconnect::kInicIdeal : apps::Interconnect::kGigabitTcp,
+      model::default_calibration(), serving_cluster_options(nic, topo));
+  cluster.tracer().enable(/*ring_capacity=*/256);
+  cluster.engine().set_time_budget(Time::seconds(60));
+  std::optional<fault::FaultInjector> injector;
+  if (chaos) injector.emplace(cluster, serving_chaos_plan());
+  apps::KvRunOptions opts;
+  opts.clients = kServingClients;
+  opts.servers = kServingServers;
+  opts.requests_per_client = requests_per_client;
+  opts.rate_hz = rate_hz;
+  const auto r = apps::run_kv_serving(cluster, opts);
+  if (!r.verified) {
+    throw std::runtime_error("serving run failed verification");
+  }
+  RunMetrics m;
+  m.sim_time = r.total;
+  m.latency.present = true;
+  m.latency.count = r.latency.count();
+  m.latency.p50_ns = r.latency.percentile_ns(0.50);
+  m.latency.p99_ns = r.latency.percentile_ns(0.99);
+  m.latency.p999_ns = r.latency.percentile_ns(0.999);
+  m.latency.mean_ns = r.latency.mean_ns();
+  m.latency.max_ns = r.latency.max_ns();
+  m.latency.goodput_bytes_per_sec = r.goodput_bytes_per_sec;
+  m.counters = {
+      {"requests", static_cast<std::int64_t>(r.requests)},
+      {"responses", static_cast<std::int64_t>(r.responses)},
+      {"p50_ns", static_cast<std::int64_t>(m.latency.p50_ns)},
+      {"p99_ns", static_cast<std::int64_t>(m.latency.p99_ns)},
+      {"p999_ns", static_cast<std::int64_t>(m.latency.p999_ns)},
+      {"goodput_bytes_per_sec", r.goodput_bytes_per_sec},
+      {"net_drops",
+       static_cast<std::int64_t>(cluster.network().frames_dropped())},
+      {"fault_events",
+       injector ? static_cast<std::int64_t>(injector->events_fired()) : 0},
+  };
+  capture_run(cluster, m);
+  return m;
+}
+
 }  // namespace
+
+std::vector<RunPoint> serving_points(bool reduced) {
+  struct Grid {
+    const char* topo_label;  // "topology" param
+    net::TopologyConfig config;
+    double rate_hz;
+    bool full_only;
+  };
+  const std::vector<Grid> grid = {
+      {"star", net::TopologyConfig::star(), 20000.0, false},
+      {"star", net::TopologyConfig::star(), 80000.0, true},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 20000.0, true},
+  };
+  const std::size_t requests_per_client = reduced ? 32 : 192;
+  std::vector<RunPoint> points;
+  for (const auto& g : grid) {
+    if (reduced && g.full_only) continue;
+    for (const bool nic : {false, true}) {
+      for (const bool chaos : {false, true}) {
+        const net::TopologyConfig topo = g.config;
+        const double rate = g.rate_hz;
+        const std::string rate_str =
+            std::to_string(static_cast<long long>(rate));
+        points.push_back(RunPoint{
+            "serving_tail",
+            std::string(nic ? "nic" : "host") + "/" + g.topo_label +
+                "/rate=" + rate_str + "/" + (chaos ? "loss30" : "clean"),
+            {{"plane", nic ? "nic" : "host"},
+             {"topology", g.topo_label},
+             {"rate_hz", rate_str},
+             {"chaos", chaos ? "loss30" : "clean"},
+             {"clients", num(kServingClients)},
+             {"servers", num(kServingServers)},
+             {"requests_per_client", num(requests_per_client)}},
+            [nic, topo, chaos, rate, requests_per_client] {
+              return serving_metrics(nic, topo, chaos, rate,
+                                     requests_per_client);
+            }});
+      }
+    }
+  }
+  return points;
+}
 
 std::vector<RunPoint> failover_points(bool reduced) {
   struct Grid {
@@ -767,6 +892,12 @@ std::vector<RunPoint> figure_sweep_points(bool reduced) {
 
   // Chaos: scripted fault storms against verified FFT/sort runs.
   for (auto& point : chaos_recovery_points(reduced)) {
+    points.push_back(std::move(point));
+  }
+
+  // Serving: open-loop KV tail latency, host vs NIC plane, clean vs
+  // 30%-loss chaos.
+  for (auto& point : serving_points(reduced)) {
     points.push_back(std::move(point));
   }
 

@@ -72,4 +72,16 @@ std::vector<RunPoint> failover_points(bool reduced);
 /// driver.
 std::vector<RunPoint> chaos_recovery_points(bool reduced);
 
+/// The serving suite: the open-loop Zipf-skewed KV workload
+/// (apps/kv_app.hpp) over a (plane × topology × arrival rate × chaos)
+/// grid — host TCP vs hardened INIC, clean fabric vs sustained ~30%
+/// bursty loss.  Every point fills RunMetrics::latency (the schema-v3
+/// `latency` object: nearest-rank p50/p99/p999, mean, max, goodput) from
+/// the run's deterministic latency histogram, and mirrors the tail into
+/// counters for the serial-vs-pooled comparison.  A point throws if any
+/// response carries a wrong value or a request goes unanswered.
+/// Included in figure_sweep_points; exposed separately for the
+/// bench/serving_tail driver.
+std::vector<RunPoint> serving_points(bool reduced);
+
 }  // namespace acc::runner

@@ -35,6 +35,21 @@ namespace acc::runner {
 /// `counters` an optional flat snapshot of the run's counter registry —
 /// both exist so a pooled run can be checked bit-for-bit against a
 /// serial run of the same point.
+/// Tail-latency summary of a serving-style point (schema-v3 `latency`
+/// object in BENCH_results.json).  All fields come from the run's
+/// trace::LatencyHistogram, so they are as deterministic as the digest;
+/// `present` gates emission (batch workloads have no request latencies).
+struct LatencySummary {
+  bool present = false;
+  std::uint64_t count = 0;     // completed requests behind the percentiles
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t mean_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::int64_t goodput_bytes_per_sec = 0;  // response payload / makespan
+};
+
 struct RunMetrics {
   Time sim_time = Time::zero();
   double speedup = 0.0;            // vs the suite's serial baseline; 0 = n/a
@@ -44,6 +59,8 @@ struct RunMetrics {
   /// (name, value) pairs in a body-chosen, deterministic order; used for
   /// extra table columns and the serial-vs-pooled counter comparison.
   std::vector<std::pair<std::string, std::int64_t>> counters;
+  /// Request-latency distribution summary; emitted only when present.
+  LatencySummary latency;
 };
 
 /// One named unit of work in a sweep.  `params` is ordered (it becomes

@@ -1,0 +1,132 @@
+// Deterministic fixed-bucket log2 latency histogram.
+//
+// Serving-style workloads (src/apps/kv_app.hpp) need tail percentiles
+// (p50/p99/p999) over millions of per-request latencies without keeping
+// every sample.  This histogram uses HDR-style buckets: values below
+// 2^kSubBits map exactly; above that, each power-of-two octave is split
+// into 2^kSubBits linear sub-buckets, bounding the relative quantization
+// error at 1/2^kSubBits (6.25%) while the bucket count stays fixed
+// (kBuckets = 976 for 64-bit nanoseconds).
+//
+// Everything is integer arithmetic on a fixed layout, so the same sample
+// multiset — in any insertion order, recorded on any platform, merged
+// from any partition — produces bit-identical counts and percentiles.
+// That is the property the BENCH_results.json schema-v3 `latency` object
+// and the sweep's serial-vs-pooled comparison rely on.
+//
+// Percentiles use the nearest-rank definition: percentile(q) is the
+// value at rank ceil(q * count) (1-based) of the sorted samples, mapped
+// to its bucket's lower bound — a real recorded magnitude, never an
+// interpolation between buckets.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace acc::trace {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-bucket resolution bits per power-of-two octave.
+  static constexpr int kSubBits = 4;
+  static constexpr std::uint64_t kSubCount = 1ULL << kSubBits;
+  /// Buckets 0..15 are exact values 0..15; octave o >= 1 covers
+  /// [2^(o+kSubBits-1), 2^(o+kSubBits)) in kSubCount linear steps.
+  /// Highest representable msb is 63 -> octave 60, so:
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) << kSubBits;
+
+  /// Bucket index of a nanosecond magnitude (exact below 2^kSubBits).
+  static constexpr std::size_t bucket_of(std::uint64_t ns) {
+    if (ns < kSubCount) return static_cast<std::size_t>(ns);
+    const int msb = 63 - std::countl_zero(ns);
+    const std::uint64_t sub = (ns >> (msb - kSubBits)) & (kSubCount - 1);
+    const std::uint64_t octave = static_cast<std::uint64_t>(msb - kSubBits + 1);
+    return static_cast<std::size_t>((octave << kSubBits) + sub);
+  }
+
+  /// Smallest nanosecond magnitude mapping to `bucket` (the value
+  /// percentile() reports for samples landing in it).
+  static constexpr std::uint64_t bucket_floor_ns(std::size_t bucket) {
+    if (bucket < kSubCount) return bucket;
+    const std::uint64_t octave = bucket >> kSubBits;
+    const std::uint64_t sub = bucket & (kSubCount - 1);
+    const int msb = static_cast<int>(octave) + kSubBits - 1;
+    return (kSubCount + sub) << (msb - kSubBits);
+  }
+
+  void record_ns(std::uint64_t ns) {
+    ++counts_[bucket_of(ns)];
+    ++count_;
+    sum_ns_ += ns;
+    if (count_ == 1 || ns < min_ns_) min_ns_ = ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  void record(Time latency) {
+    record_ns(latency < Time::zero()
+                  ? 0
+                  : static_cast<std::uint64_t>(latency.as_nanos()));
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ns() const { return sum_ns_; }
+  std::uint64_t min_ns() const { return count_ ? min_ns_ : 0; }
+  std::uint64_t max_ns() const { return count_ ? max_ns_ : 0; }
+  std::uint64_t mean_ns() const { return count_ ? sum_ns_ / count_ : 0; }
+
+  /// Nearest-rank percentile, as the lower bound of the bucket holding
+  /// rank ceil(q * count); 0 when empty.  q outside (0, 1] clamps.
+  std::uint64_t percentile_ns(double q) const {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) q = 1e-12;
+    if (q > 1.0) q = 1.0;
+    // ceil without floating-point edge surprises: the smallest rank r
+    // with r >= q * count.
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) return bucket_floor_ns(b);
+    }
+    return bucket_floor_ns(kBuckets - 1);  // unreachable: seen ends at count_
+  }
+
+  Time percentile(double q) const {
+    return Time::nanos(static_cast<std::int64_t>(percentile_ns(q)));
+  }
+  Time p50() const { return percentile(0.50); }
+  Time p99() const { return percentile(0.99); }
+  Time p999() const { return percentile(0.999); }
+
+  /// Element-wise merge; associative and commutative, so partitioned
+  /// recording (per client, per shard) reduces to the same histogram in
+  /// any combination order.
+  void merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+  }
+
+  /// Raw bucket access (tests, exporters).
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return counts_.at(bucket);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace acc::trace

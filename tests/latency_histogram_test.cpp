@@ -1,0 +1,198 @@
+// trace::LatencyHistogram: bucket layout, nearest-rank percentiles,
+// merge algebra, and the determinism properties the schema-v3 `latency`
+// object relies on (docs/SERVING.md).
+#include "trace/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace acc::trace {
+namespace {
+
+/// Oracle: nearest-rank percentile over the raw samples, then mapped to
+/// the bucket floor exactly as the histogram reports it.
+std::uint64_t oracle_percentile(std::vector<std::uint64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size()));
+  if (static_cast<double>(rank) < q * static_cast<double>(samples.size())) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  const std::uint64_t v = samples[rank - 1];
+  return LatencyHistogram::bucket_floor_ns(LatencyHistogram::bucket_of(v));
+}
+
+TEST(LatencyHistogram, SmallValuesMapExactly) {
+  for (std::uint64_t ns = 0; ns < LatencyHistogram::kSubCount; ++ns) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(ns), ns);
+    EXPECT_EQ(LatencyHistogram::bucket_floor_ns(ns), ns);
+  }
+}
+
+TEST(LatencyHistogram, BucketFloorIsTightLowerBound) {
+  // Every probed magnitude lands in a bucket whose floor is <= it, and
+  // the next bucket's floor is > it — including across octave edges.
+  std::vector<std::uint64_t> probes;
+  for (int shift = 0; shift < 63; ++shift) {
+    const std::uint64_t base = 1ULL << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+  }
+  probes.push_back(~0ULL);
+  for (std::uint64_t ns : probes) {
+    const std::size_t b = LatencyHistogram::bucket_of(ns);
+    ASSERT_LT(b, LatencyHistogram::kBuckets) << ns;
+    EXPECT_LE(LatencyHistogram::bucket_floor_ns(b), ns) << ns;
+    if (b + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_GT(LatencyHistogram::bucket_floor_ns(b + 1), ns) << ns;
+    }
+  }
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded) {
+  // Above the exact range, floor(ns) >= ns * (1 - 1/kSubCount).
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t ns = rng.below(~0ULL) | LatencyHistogram::kSubCount;
+    const std::uint64_t floor =
+        LatencyHistogram::bucket_floor_ns(LatencyHistogram::bucket_of(ns));
+    EXPECT_GE(static_cast<double>(floor),
+              static_cast<double>(ns) *
+                  (1.0 - 1.0 / static_cast<double>(
+                                   LatencyHistogram::kSubCount)))
+        << ns;
+  }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0u);
+}
+
+TEST(LatencyHistogram, NearestRankMatchesOracleOnKnownData) {
+  // 1..100 exercises the textbook nearest-rank cases: p50 = value at
+  // rank 50, p99 = rank 99, p100 = rank 100.
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    samples.push_back(v * 1000);
+    h.record_ns(v * 1000);
+  }
+  for (double q : {0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.percentile_ns(q), oracle_percentile(samples, q)) << q;
+  }
+  EXPECT_EQ(h.min_ns(), 1000u);
+  EXPECT_EQ(h.max_ns(), 100000u);
+}
+
+TEST(LatencyHistogram, NearestRankMatchesOracleOnSkewedData) {
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed: mostly microseconds, occasional multi-millisecond.
+    std::uint64_t ns = 1000 + rng.below(20000);
+    if (rng.chance(0.01)) ns = 1000000 + rng.below(9000000);
+    samples.push_back(ns);
+    h.record_ns(ns);
+  }
+  for (double q : {0.50, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(h.percentile_ns(q), oracle_percentile(samples, q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, InsertionOrderInvariant) {
+  std::vector<std::uint64_t> samples;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.below(1u << 30));
+
+  LatencyHistogram forward, backward;
+  for (std::uint64_t s : samples) forward.record_ns(s);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    backward.record_ns(*it);
+  }
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    ASSERT_EQ(forward.bucket_count(b), backward.bucket_count(b)) << b;
+  }
+  EXPECT_EQ(forward.percentile_ns(0.99), backward.percentile_ns(0.99));
+  EXPECT_EQ(forward.sum_ns(), backward.sum_ns());
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndOrderFree) {
+  Rng rng(11);
+  std::vector<LatencyHistogram> parts(4);
+  LatencyHistogram whole;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t ns = rng.below(1ULL << (10 + 4 * p));
+      parts[p].record_ns(ns);
+      whole.record_ns(ns);
+    }
+  }
+  // ((a+b)+c)+d vs (d+c)+(b+a): same histogram either way.
+  LatencyHistogram left;
+  for (const auto& p : parts) left.merge(p);
+  LatencyHistogram right_hi, right_lo, right;
+  right_hi.merge(parts[3]);
+  right_hi.merge(parts[2]);
+  right_lo.merge(parts[1]);
+  right_lo.merge(parts[0]);
+  right.merge(right_hi);
+  right.merge(right_lo);
+
+  for (const auto* h : {&left, &right}) {
+    EXPECT_EQ(h->count(), whole.count());
+    EXPECT_EQ(h->sum_ns(), whole.sum_ns());
+    EXPECT_EQ(h->min_ns(), whole.min_ns());
+    EXPECT_EQ(h->max_ns(), whole.max_ns());
+    for (double q : {0.5, 0.99, 0.999}) {
+      EXPECT_EQ(h->percentile_ns(q), whole.percentile_ns(q)) << q;
+    }
+  }
+  // Merging an empty histogram is a no-op in both directions.
+  LatencyHistogram empty;
+  LatencyHistogram copy = whole;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), whole.count());
+  EXPECT_EQ(copy.min_ns(), whole.min_ns());
+  empty.merge(whole);
+  EXPECT_EQ(empty.count(), whole.count());
+  EXPECT_EQ(empty.percentile_ns(0.99), whole.percentile_ns(0.99));
+}
+
+TEST(LatencyHistogram, RecordTimeClampsNegativeToZero) {
+  LatencyHistogram h;
+  h.record(Time::nanos(-5));
+  h.record(Time::nanos(5));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.min_ns(), 0u);
+}
+
+TEST(LatencyHistogram, PercentileEdgeRanks) {
+  LatencyHistogram h;
+  h.record_ns(10);
+  h.record_ns(20);
+  h.record_ns(30);
+  // q small enough that rank rounds to 1 -> the minimum's bucket floor.
+  EXPECT_EQ(h.percentile_ns(0.001), 10u);
+  // q = 1 -> the maximum's bucket floor.
+  EXPECT_EQ(h.percentile_ns(1.0), 30u);
+  // q beyond 1 clamps instead of running past the counts.
+  EXPECT_EQ(h.percentile_ns(2.0), 30u);
+}
+
+}  // namespace
+}  // namespace acc::trace

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "sim/process.hpp"
 
 namespace acc::proto {
@@ -80,6 +83,40 @@ TEST(TaggedInbox, SuspendsUntilTaggedMessageArrives) {
   EXPECT_EQ(out.id, 11u);
   EXPECT_EQ(got_at, Time::millis(2));
   EXPECT_EQ(inbox.stashed(), 1u);  // the tag-3 message still waits
+}
+
+// Serving-style backlog: thousands of same-tag messages stashed while a
+// different tag is awaited, then drained in FIFO order.  Guards the
+// deque-based stash — the previous vector front-erase drain was O(n^2)
+// and this size makes that regression visible as a timeout, not noise.
+TEST(TaggedInbox, DrainsLargeBacklogInFifoOrder) {
+  constexpr std::uint64_t kBacklog = 20000;
+  sim::Engine eng;
+  sim::Channel<Message> ch(eng);
+  TaggedInbox inbox(ch);
+  for (std::uint64_t i = 0; i < kBacklog; ++i) ch.send_now(msg(9, i));
+  ch.send_now(msg(5, kBacklog));  // the tag actually awaited first
+
+  Message gate;
+  std::vector<std::uint64_t> drained;
+  sim::ProcessGroup group(eng);
+  group.spawn([](TaggedInbox& i, Message& g, std::vector<std::uint64_t>& out)
+                  -> sim::Process {
+    co_await i.recv(5, g);  // stashes the whole backlog
+    Message m;
+    for (std::uint64_t n = 0; n < kBacklog; ++n) {
+      co_await i.recv(9, m);
+      out.push_back(m.id);
+    }
+  }(inbox, gate, drained));
+  group.join();
+
+  EXPECT_EQ(gate.id, kBacklog);
+  ASSERT_EQ(drained.size(), kBacklog);
+  for (std::uint64_t i = 0; i < kBacklog; ++i) {
+    ASSERT_EQ(drained[i], i) << "stash drain broke FIFO at " << i;
+  }
+  EXPECT_EQ(inbox.stashed(), 0u);
 }
 
 }  // namespace

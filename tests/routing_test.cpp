@@ -99,6 +99,53 @@ TEST(Routing, StaticFabricEmitsNoRoutingRecordsOnLinkFailure) {
   }
 }
 
+TEST(Routing, IncastStormNeverFlipsLinkHealth) {
+  // The drop-attribution regression test: an incast storm overflows
+  // output buffers (drop-tail, congestion), and congestion drops are a
+  // load signal on a *live* link — they must never feed the
+  // consecutive-drop fast path, declare a link down, or trigger a
+  // re-convergence.  Before the drops_congestion/drops_link split, one
+  // shared counter made this distinction impossible to audit.
+  NetworkConfig cfg;
+  cfg.topology = TopologyConfig::fat_tree(2);
+  cfg.routing.adaptive = true;
+  cfg.port_buffer = Bytes::kib(2);  // tiny buffers: guarantee drop-tail
+  sim::Engine eng;
+  eng.tracer().enable();
+  Network net(eng, 8, cfg);
+  std::vector<std::unique_ptr<RecordingEndpoint>> sinks;
+  for (int h = 0; h < 8; ++h) {
+    sinks.push_back(std::make_unique<RecordingEndpoint>(eng));
+    net.attach(h, *sinks.back());
+  }
+
+  // Everyone slams host 0 at t=0: a classic incast.
+  const int kBurst = 16;
+  for (int src = 1; src < 8; ++src) {
+    for (int i = 0; i < kBurst; ++i) net.inject(make_frame(src, 0));
+  }
+  eng.run();
+
+  // The storm lost frames...
+  EXPECT_GT(net.frames_dropped(), 0u);
+  EXPECT_LT(sinks[0]->frames.size(), static_cast<std::size_t>(7 * kBurst));
+  // ...but every loss was attributed to congestion, none to link faults,
+  // and the fabric's routing state never moved.
+  std::uint64_t congestion = 0;
+  for (const auto& s : net.interior_link_stats()) {
+    congestion += s.drops_congestion;
+    EXPECT_EQ(s.drops_link, 0u);
+    EXPECT_EQ(s.drops, s.drops_congestion + s.drops_link);
+  }
+  EXPECT_GT(congestion, 0u) << "storm should overflow interior ports too";
+  EXPECT_EQ(net.route_epoch(), 0u);
+  EXPECT_TRUE(net.links_declared_down().empty());
+  for (const auto& r : eng.tracer().records()) {
+    EXPECT_NE(r.category, trace::Category::kRouting)
+        << "congestion drop emitted routing record " << r.name;
+  }
+}
+
 TEST(Routing, ConsecutiveDropsDeclareLinkAndRerouteTraffic) {
   Harness h(8, TopologyConfig::fat_tree(2), /*adaptive=*/true);
   int src = 0, dst = -1;

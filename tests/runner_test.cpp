@@ -10,7 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "apps/cluster.hpp"
 #include "apps/fft_app.hpp"
@@ -157,6 +160,73 @@ TEST(SweepRunner, ZeroThreadsPicksHardwareConcurrency) {
 TEST(BenchJson, DigestHexIsStable16Digits) {
   EXPECT_EQ(runner::digest_hex(0), "0000000000000000");
   EXPECT_EQ(runner::digest_hex(0xdeadbeefcafef00dULL), "deadbeefcafef00d");
+}
+
+TEST(BenchJson, NonFiniteNumbersSerializeAsNull) {
+  // JSON has no inf/nan literals; a record whose speedup divided by a
+  // zero-duration run must still produce a parseable document.
+  RunRecord r;
+  r.suite = "s";
+  r.name = "p";
+  r.ok = true;
+  r.metrics.speedup = std::numeric_limits<double>::infinity();
+  r.wall_ms = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  runner::write_bench_json(os, {r}, {});
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"speedup\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ms\": null"), std::string::npos) << json;
+}
+
+TEST(BenchJson, SchemaV3EmitsLatencyObjectOnlyWhenPresent) {
+  RunRecord with;
+  with.suite = "s";
+  with.name = "serving";
+  with.ok = true;
+  with.metrics.latency.present = true;
+  with.metrics.latency.count = 128;
+  with.metrics.latency.p50_ns = 1000;
+  with.metrics.latency.p99_ns = 9000;
+  with.metrics.latency.p999_ns = 12000;
+  with.metrics.latency.mean_ns = 1500;
+  with.metrics.latency.max_ns = 12345;
+  with.metrics.latency.goodput_bytes_per_sec = 7777;
+  RunRecord without;
+  without.suite = "s";
+  without.name = "batch";
+  without.ok = true;
+  std::ostringstream os;
+  runner::write_bench_json(os, {with, without}, {});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"acc-bench-results/v3\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"latency\": {\"count\": 128, \"p50_ns\": 1000, "
+                      "\"p99_ns\": 9000, \"p999_ns\": 12000, "
+                      "\"mean_ns\": 1500, \"max_ns\": 12345, "
+                      "\"goodput_bytes_per_sec\": 7777}"),
+            std::string::npos)
+      << json;
+  // Exactly one latency object: the batch point must not emit one.
+  EXPECT_EQ(json.find("\"latency\""), json.rfind("\"latency\"")) << json;
+}
+
+TEST(RunRecord, EventsPerSecGuardsDegenerateRecords) {
+  RunRecord r;
+  r.ok = true;
+  r.metrics.events = 1000;
+  r.wall_ns = 0;  // timer too coarse to see the body: no division
+  EXPECT_EQ(r.events_per_sec(), 0.0);
+  r.wall_ns = 1000000;
+  r.metrics.events = 0;
+  EXPECT_EQ(r.events_per_sec(), 0.0);
+  r.metrics.events = 1000;
+  r.ok = false;
+  EXPECT_EQ(r.events_per_sec(), 0.0);
+  r.ok = true;
+  // 1000 events over 1 ms of wall clock.
+  EXPECT_DOUBLE_EQ(r.events_per_sec(), 1e6);
 }
 
 // ---------------------------------------------------------------------
