@@ -68,10 +68,16 @@ aslr_wrap() {
 # deterministic re-convergence, go-back-N reroute escalation), and
 # kv_serving the open-loop serving workload (Poisson arrivals, Zipf
 # keys, per-request latency histogram, with a sustained bursty-loss
-# storm on both transport planes) — together covering the healthy,
-# faulted, multi-hop, on-card-collective, failover and serving parts of
-# the determinism contract (docs/FAULTS.md, docs/NETWORK.md,
-# docs/COLLECTIVES.md, docs/SERVING.md).
+# storm on both transport planes), and parallel_engine_demo the
+# window-scheduled parallel engine (the LP-partitioned fabric workload
+# and the SimCluster engine_threads facade, each executed at 1/2/4/8
+# worker threads inside one process; the binary exits non-zero if any
+# thread count diverges, and its digest lines let this script compare
+# the same runs across environments) — together covering the healthy,
+# faulted, multi-hop, on-card-collective, failover, serving and
+# parallel-engine parts of the determinism contract (docs/FAULTS.md,
+# docs/NETWORK.md, docs/COLLECTIVES.md, docs/SERVING.md,
+# docs/ENGINE.md).
 digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
   local mode="$1" loc="$2" probe="$3"
   aslr_wrap "$mode" env LC_ALL="$loc" ACC_TRACE_DIGEST=1 \
@@ -81,7 +87,7 @@ digests_of() {  # $1: aslr mode, $2: locale, $3: probe binary
 
 fail=0
 for probe in quickstart fault_injection topology_demo collective_offload \
-             failover_demo kv_serving; do
+             failover_demo kv_serving parallel_engine_demo; do
   echo "== cross-environment digest comparison (examples/$probe) =="
   baseline="$(digests_of varied C "$probe")"
   if [[ -z "$baseline" ]]; then

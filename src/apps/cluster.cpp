@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/parallel.hpp"
+
 namespace acc::apps {
 
 namespace {
@@ -123,6 +125,18 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
   net_cfg.routing.adaptive = opts_.adaptive_routing;
   network_ = std::make_unique<net::Network>(eng_, n, net_cfg);
 
+  // Pre-size the event heap from the materialized topology: per-node
+  // protocol machinery (timers, coroutine resumes) plus frames queued
+  // across every switch port bound the events simultaneously in flight,
+  // so a big-fabric run never re-grows the heap mid-window.  reserve()
+  // is pure capacity — dispatch order and digests are unaffected (pinned
+  // by the heap's reserve-invariance test).
+  std::size_t fabric_ports = 0;
+  for (const auto& sw : network_->plan().switches) {
+    fabric_ports += sw.ports.size();
+  }
+  eng_.reserve(64 + 16 * n + 4 * fabric_ports);
+
   hw::NodeConfig node_cfg;
   node_cfg.cpu.fft_mflops = cal.host_fft_mflops;
   node_cfg.memory.l1_size = cal.l1_size;
@@ -210,6 +224,20 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
           std::make_unique<proto::TcpStack>(*nodes_[i], *nics_[i], tcp_cfg));
     }
   }
+}
+
+Time SimCluster::run() {
+  if (opts_.engine_threads <= 1) return eng_.run();
+  // Parallel facade: the cluster's engine is LP 0 of a window-scheduled
+  // run.  The device models are not yet LP-partitioned, so the window
+  // scheduler sees a single shard and the conservative loop degenerates
+  // to one full-horizon window — bit-identical dispatch, bit-identical
+  // digest, for any thread count (tests/parallel_scaling_test.cpp pins
+  // this across {1,2,4,8} on every topology family).
+  sim::ParallelConfig cfg;
+  cfg.threads = opts_.engine_threads;
+  sim::ParallelEngine parallel({&eng_}, cfg);
+  return parallel.run();
 }
 
 sim::Channel<proto::Message>& SimCluster::inbox(std::size_t i) {

@@ -86,6 +86,17 @@ struct ClusterOptions {
   /// (the state machines live on the cards); the default keeps every
   /// existing run — and its trace digest — bit-identical.
   CollectiveBackend collective_backend = CollectiveBackend::kHost;
+  /// Worker threads for the parallel event engine (sim/parallel.hpp).
+  /// 0 and 1 both run the classic single-heap serial engine; larger
+  /// values drive the run through the conservative time-window scheduler.
+  /// The determinism contract is thread-count independence: same seed →
+  /// same digest for ANY value here (docs/TRACING.md), pinned by
+  /// tests/parallel_scaling_test.cpp.  Today the cluster's device models
+  /// all share state across subsystems, so they stay on LP 0 and the
+  /// multi-LP speedup applies to LP-partitioned workloads
+  /// (net/lp_workload.hpp); migrating the fabric switches onto their
+  /// topology-derived LPs (net/lp_map.hpp) is the staged follow-up.
+  std::size_t engine_threads = 1;
 };
 
 /// A fully wired simulated cluster.  Exactly one of (nics+tcp) / cards is
@@ -100,6 +111,14 @@ class SimCluster {
   ~SimCluster();
 
   sim::Engine& engine() { return eng_; }
+
+  /// Runs the simulation to completion honouring
+  /// options().engine_threads: the classic serial dispatch loop at <= 1,
+  /// the parallel engine's window scheduler above (the cluster's engine
+  /// is LP 0; see ClusterOptions::engine_threads for the LP-migration
+  /// status).  Digests are bit-identical either way.  Returns the final
+  /// simulated time.
+  Time run();
 
   /// The engine's trace stream; enable() it before a run to record.
   /// Also honours two environment variables (captured once per process —

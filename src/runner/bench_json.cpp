@@ -70,6 +70,16 @@ void write_point(std::ostream& os, const RunRecord& r,
   os << indent << "  \"wall_ns\": " << r.wall_ns << ",\n";
   os << indent << "  \"events\": " << r.metrics.events << ",\n";
   os << indent << "  \"events_per_sec\": " << number(r.events_per_sec());
+  // Schema v4: parallel-engine scaling fields, emitted only for points
+  // that ran on the window scheduler so v3-era points are byte-stable.
+  if (r.metrics.threads > 1) {
+    os << ",\n" << indent << "  \"threads\": " << r.metrics.threads;
+  }
+  if (r.metrics.scaling_efficiency != 0.0) {
+    os << ",\n"
+       << indent
+       << "  \"scaling_efficiency\": " << number(r.metrics.scaling_efficiency);
+  }
   if (r.metrics.latency.present) {
     const LatencySummary& l = r.metrics.latency;
     os << ",\n" << indent << "  \"latency\": {";
@@ -106,7 +116,7 @@ std::string digest_hex(std::uint64_t digest) {
 void write_bench_json(std::ostream& os, const std::vector<RunRecord>& results,
                       const BenchJsonMeta& meta) {
   os << "{\n";
-  os << "  \"schema\": \"acc-bench-results/v3\",\n";
+  os << "  \"schema\": \"acc-bench-results/v4\",\n";
   os << "  \"point_set\": \"" << escaped(meta.point_set) << "\",\n";
   os << "  \"threads\": " << meta.threads << ",\n";
   os << "  \"sweep_wall_ms\": " << number(meta.sweep_wall_ms) << ",\n";

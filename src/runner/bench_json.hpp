@@ -3,7 +3,7 @@
 // Schema (docs/BENCHMARKS.md is the authoritative description):
 //
 //   {
-//     "schema": "acc-bench-results/v3",
+//     "schema": "acc-bench-results/v4",
 //     "point_set": "full" | "reduced",
 //     "threads": <pool size>,
 //     "sweep_wall_ms": <whole-sweep wall clock>,
@@ -19,6 +19,9 @@
 //             "wall_ns": <same measurement, integer nanoseconds>,
 //             "events":  <engine events executed>,
 //             "events_per_sec": <host dispatch throughput, events/wall>,
+//             "threads": <engine worker threads; omitted when 1>,
+//             "scaling_efficiency": <speedup over the point's 1-thread
+//                                    run ÷ threads; omitted when n/a>,
 //             "latency": {                  // serving points only
 //               "count":   <completed requests>,
 //               "p50_ns":  <nearest-rank percentile, ns>,
@@ -40,7 +43,12 @@
 // object (tail percentiles + goodput from the deterministic
 // trace::LatencyHistogram of serving-style points) and pins down that
 // non-finite floating-point values serialize as `null`, never inf/nan
-// (which are not JSON).  Digests are hex *strings* because a 64-bit
+// (which are not JSON).  v4 adds the optional parallel-engine fields
+// `threads` and `scaling_efficiency` (sim/parallel.hpp window scheduler;
+// for points with engine threads > 1, events_per_sec aggregates shard
+// events over the slowest shard's busy time — see
+// runner::RunRecord::events_per_sec()); points that ran serially emit
+// byte-identical objects to v3.  Digests are hex *strings* because a 64-bit
 // value does not survive a round-trip through JSON numbers.  Suites,
 // points, and params keep the submission order of the sweep, which
 // SweepRunner guarantees is deterministic — so two runs of the same

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "net/lp_workload.hpp"
 #include "runner/sweep.hpp"
 
 namespace acc::runner {
@@ -83,5 +84,21 @@ std::vector<RunPoint> chaos_recovery_points(bool reduced);
 /// Included in figure_sweep_points; exposed separately for the
 /// bench/serving_tail driver.
 std::vector<RunPoint> serving_points(bool reduced);
+
+/// The engine-scaling suite: LP-partitioned fabric traffic
+/// (net/lp_workload.hpp) on the parallel event engine at 1/2/4 worker
+/// threads.  Each point reports the thread-count-independent run digest
+/// and per-shard stats; threads > 1 points additionally report speedup
+/// over the shape's memoized 1-thread baseline and the derived
+/// `scaling_efficiency` (BENCH_results.json v4).  The full grid's
+/// 1024-host fat-tree point carries the CI speedup floor enforced by
+/// bench/engine_scaling --check-floor.  Included in figure_sweep_points;
+/// exposed separately for the bench/engine_scaling driver.
+std::vector<RunPoint> engine_scaling_points(bool reduced);
+
+/// The CI speedup-floor shape: the full engine_scaling grid's 1024-host
+/// fat-tree workload.  bench/engine_scaling --check-floor re-measures
+/// exactly this config, so the gate and the grid cannot drift apart.
+net::LpWorkloadConfig engine_scaling_floor_config();
 
 }  // namespace acc::runner

@@ -62,6 +62,16 @@ Time Engine::run_until(Time deadline) {
   return now_;
 }
 
+Time Engine::run_window(Time end) {
+  while (!queue_.empty() && queue_.top().when < end) {
+    step();
+    rethrow_if_failed();
+    check_time_budget();
+  }
+  rethrow_if_failed();
+  return now_;
+}
+
 void Engine::check_time_budget() {
   if (time_budget_ == Time::zero() || now_ <= time_budget_ || queue_.empty()) {
     return;

@@ -111,6 +111,14 @@ class Engine {
   /// `deadline`; events at exactly `deadline` still run.
   Time run_until(Time deadline);
 
+  /// Window execution for the parallel engine (sim/parallel.hpp): runs
+  /// every event strictly *before* `end` and stops, leaving now() at the
+  /// last executed event (no idle-advance — later windows must still be
+  /// able to schedule at any time >= the window edge).  Events at exactly
+  /// `end` belong to the next window, where they merge with cross-LP
+  /// mailbox arrivals under the deterministic (time, seq) order.
+  Time run_window(Time end);
+
   /// Watchdog: makes run()/run_until() throw WatchdogTimeout once
   /// simulated time passes `budget` with events still pending — a
   /// no-progress guard for runs that would otherwise spin forever (e.g.
@@ -127,6 +135,10 @@ class Engine {
 
   /// Number of events currently pending.
   std::size_t pending() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event (the parallel window
+  /// scheduler's t_min input).  Valid only when pending() > 0.
+  Time next_event_time() const { return queue_.top().when; }
 
   /// Records an exception that escaped a detached root process; run()
   /// rethrows it.  Used by the process machinery, not by user code.

@@ -1,0 +1,186 @@
+// Thread-count independence of full runs (docs/TRACING.md: same seed ⇒
+// same digest for ANY worker count), on both halves of the parallel
+// engine story:
+//
+//   * the LP-partitioned fabric workload (net/lp_workload.hpp) — real
+//     multi-LP window execution over every topology family, and
+//   * the SimCluster facade (ClusterOptions::engine_threads) — the
+//     cluster's engine as LP 0 of the window scheduler, which must stay
+//     bit-identical to the classic serial dispatch loop.
+//
+// CI additionally runs this binary under ThreadSanitizer, so the
+// 1024-host fat-tree stress point doubles as the data-race probe for
+// the worker pool and mailbox machinery.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "common/units.hpp"
+#include "model/calibration.hpp"
+#include "net/lp_workload.hpp"
+#include "net/topology.hpp"
+#include "sim/process.hpp"
+
+namespace acc {
+namespace {
+
+struct TopoCase {
+  const char* label;
+  net::TopologyConfig config;
+  std::size_t hosts;
+};
+
+// ---------------------------------------------------------------------
+// LP workload: real multi-LP parallelism
+// ---------------------------------------------------------------------
+
+std::vector<TopoCase> workload_topologies() {
+  return {
+      {"star", net::TopologyConfig::star(), 16},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 64},
+      {"fattree3", net::TopologyConfig::fat_tree(3), 128},
+      {"torus2", net::TopologyConfig::torus(2), 64},
+      {"torus3", net::TopologyConfig::torus(3), 64},
+  };
+}
+
+net::LpWorkloadConfig workload_config(const TopoCase& tc) {
+  net::LpWorkloadConfig cfg;
+  cfg.topology = tc.config;
+  cfg.hosts = tc.hosts;
+  cfg.frames_per_host = 8;
+  cfg.switch_work = 32;
+  cfg.inject_spread = Time::micros(50);
+  return cfg;
+}
+
+TEST(ParallelScaling, WorkloadInvariantsIndependentOfThreadCountEverywhere) {
+  for (const TopoCase& tc : workload_topologies()) {
+    const net::LpWorkloadConfig cfg = workload_config(tc);
+    const net::LpWorkloadResult ref = net::run_lp_workload(cfg, /*threads=*/1);
+    EXPECT_EQ(ref.delivered, cfg.hosts * cfg.frames_per_host) << tc.label;
+    EXPECT_GE(ref.hops, ref.delivered) << tc.label;
+#ifndef ACC_TRACE_DISABLED
+    EXPECT_GT(ref.trace_records, 0u) << tc.label;
+#endif
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      const net::LpWorkloadResult run = net::run_lp_workload(cfg, threads);
+      EXPECT_EQ(run.digest, ref.digest)
+          << tc.label << " digest diverged at threads=" << threads;
+      EXPECT_EQ(run.checksum, ref.checksum) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.events, ref.events) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.delivered, ref.delivered) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.hops, ref.hops) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.windows, ref.windows) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.cross_posts, ref.cross_posts)
+          << tc.label << " t=" << threads;
+      EXPECT_EQ(run.trace_records, ref.trace_records)
+          << tc.label << " t=" << threads;
+      EXPECT_EQ(run.sim_time, ref.sim_time) << tc.label << " t=" << threads;
+    }
+  }
+}
+
+TEST(ParallelScaling, SingleSwitchStarDegeneratesToOneLp) {
+  // A star has no interior links: one LP, zero lookahead, zero cross
+  // posts — the parallel engine must handle the degenerate partition.
+  net::LpWorkloadConfig cfg = workload_config(workload_topologies()[0]);
+  const net::LpWorkloadResult r = net::run_lp_workload(cfg, /*threads=*/4);
+  EXPECT_EQ(r.lp_count, 1u);
+  EXPECT_EQ(r.cross_posts, 0u);
+  EXPECT_EQ(r.delivered, cfg.hosts * cfg.frames_per_host);
+}
+
+TEST(ParallelScaling, FatTree1024StressPoint) {
+  // The CI-floor shape (fat_tree(3) at 1024 hosts = 320 switch LPs),
+  // sized down in per-hop work so the TSan job can afford it.  Checks
+  // the full determinism contract at the scale where every worker is
+  // saturated and the mailbox matrix is large.
+  net::LpWorkloadConfig cfg;
+  cfg.topology = net::TopologyConfig::fat_tree(3);
+  cfg.hosts = 1024;
+  cfg.frames_per_host = 4;
+  cfg.switch_work = 64;
+  const net::LpWorkloadResult ref = net::run_lp_workload(cfg, /*threads=*/1);
+  const net::LpWorkloadResult run = net::run_lp_workload(cfg, /*threads=*/4);
+  EXPECT_EQ(run.digest, ref.digest);
+  EXPECT_EQ(run.checksum, ref.checksum);
+  EXPECT_EQ(run.events, ref.events);
+  EXPECT_EQ(run.delivered, cfg.hosts * cfg.frames_per_host);
+  EXPECT_GT(run.lp_count, 100u);
+  EXPECT_GT(run.cross_posts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// SimCluster facade: engine_threads must never change a run
+// ---------------------------------------------------------------------
+
+std::vector<TopoCase> cluster_topologies() {
+  return {
+      {"star", net::TopologyConfig::star(), 8},
+      {"fattree2", net::TopologyConfig::fat_tree(2), 8},
+      {"fattree3", net::TopologyConfig::fat_tree(3), 16},
+      {"torus2", net::TopologyConfig::torus(2), 8},
+      {"torus3", net::TopologyConfig::torus(3, 2, 2, 2), 8},
+  };
+}
+
+struct ClusterRun {
+  std::uint64_t digest = 0;
+  std::uint64_t records = 0;
+  std::uint64_t events = 0;
+  Time end = Time::zero();
+};
+
+/// A neighbour-ring transfer workload driven through SimCluster::run()
+/// (not ProcessGroup::join(), so the engine_threads dispatch path is the
+/// one under test).
+ClusterRun cluster_run(const TopoCase& tc, std::size_t threads) {
+  apps::ClusterOptions copts;
+  copts.topology = tc.config;
+  copts.engine_threads = threads;
+  apps::SimCluster cluster(tc.hosts, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), copts);
+  cluster.tracer().enable(/*ring_capacity=*/64);
+  sim::ProcessGroup group(cluster.engine());
+  for (std::size_t i = 0; i < tc.hosts; ++i) {
+    const int src = static_cast<int>(i);
+    const int dst = static_cast<int>((i + 1) % tc.hosts);
+    group.spawn(cluster.transfer(src, dst, Bytes::kib(4), i));
+    group.spawn([](apps::SimCluster& c, int node) -> sim::Process {
+      (void)co_await c.inbox(static_cast<std::size_t>(node)).recv();
+    }(cluster, dst));
+  }
+  ClusterRun out;
+  out.end = cluster.run();
+  group.join();  // queue already drained; verifies nothing is stuck
+  out.digest = cluster.tracer().digest();
+  out.records = cluster.tracer().records_emitted();
+  out.events = cluster.engine().events_executed();
+  return out;
+}
+
+TEST(ParallelScaling, ClusterDigestIndependentOfEngineThreadsEverywhere) {
+  for (const TopoCase& tc : cluster_topologies()) {
+    const ClusterRun ref = cluster_run(tc, /*threads=*/1);
+    EXPECT_GT(ref.events, 0u) << tc.label;
+#ifndef ACC_TRACE_DISABLED
+    EXPECT_GT(ref.records, 0u) << tc.label;
+#endif
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      const ClusterRun run = cluster_run(tc, threads);
+      EXPECT_EQ(run.digest, ref.digest)
+          << tc.label << " digest diverged at engine_threads=" << threads;
+      EXPECT_EQ(run.records, ref.records) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.events, ref.events) << tc.label << " t=" << threads;
+      EXPECT_EQ(run.end, ref.end) << tc.label << " t=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acc

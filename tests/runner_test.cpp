@@ -180,7 +180,7 @@ TEST(BenchJson, NonFiniteNumbersSerializeAsNull) {
   EXPECT_NE(json.find("\"wall_ms\": null"), std::string::npos) << json;
 }
 
-TEST(BenchJson, SchemaV3EmitsLatencyObjectOnlyWhenPresent) {
+TEST(BenchJson, SchemaV4EmitsLatencyObjectOnlyWhenPresent) {
   RunRecord with;
   with.suite = "s";
   with.name = "serving";
@@ -200,7 +200,7 @@ TEST(BenchJson, SchemaV3EmitsLatencyObjectOnlyWhenPresent) {
   std::ostringstream os;
   runner::write_bench_json(os, {with, without}, {});
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"acc-bench-results/v3\""),
+  EXPECT_NE(json.find("\"schema\": \"acc-bench-results/v4\""),
             std::string::npos);
   EXPECT_NE(json.find("\"latency\": {\"count\": 128, \"p50_ns\": 1000, "
                       "\"p99_ns\": 9000, \"p999_ns\": 12000, "
@@ -227,6 +227,61 @@ TEST(RunRecord, EventsPerSecGuardsDegenerateRecords) {
   r.ok = true;
   // 1000 events over 1 ms of wall clock.
   EXPECT_DOUBLE_EQ(r.events_per_sec(), 1e6);
+}
+
+TEST(RunRecord, EventsPerSecAggregatesParallelShards) {
+  // A parallel-engine point reports per-LP shard stats; throughput is
+  // total events over the *slowest* shard's busy time (shards run
+  // concurrently — summing their wall times would under-report a
+  // balanced run by the shard count).
+  RunRecord r;
+  r.ok = true;
+  r.wall_ns = 8000000;       // record-level wall includes barrier overhead
+  r.metrics.events = 3000;
+  r.metrics.shards = {{1000, 1000000}, {1500, 2000000}, {500, 500000}};
+  // 3000 events over the 2 ms critical shard.
+  EXPECT_DOUBLE_EQ(r.events_per_sec(), 1.5e6);
+  r.ok = false;
+  EXPECT_EQ(r.events_per_sec(), 0.0);
+  r.ok = true;
+  // Degenerate shard sets fall back to the record-level measurement
+  // instead of dividing by zero: all-zero busy times (clock too coarse)
+  // and zero-event shards both.
+  r.metrics.shards = {{1000, 0}, {2000, 0}};
+  EXPECT_DOUBLE_EQ(r.events_per_sec(),
+                   3000.0 * 1e9 / static_cast<double>(r.wall_ns));
+  r.metrics.shards = {{0, 1000000}, {0, 2000000}};
+  EXPECT_DOUBLE_EQ(r.events_per_sec(),
+                   3000.0 * 1e9 / static_cast<double>(r.wall_ns));
+  // Degenerate shards AND a degenerate record: no division anywhere.
+  r.wall_ns = 0;
+  EXPECT_EQ(r.events_per_sec(), 0.0);
+}
+
+TEST(BenchJson, SchemaV4EmitsScalingFieldsOnlyForParallelPoints) {
+  RunRecord parallel;
+  parallel.suite = "s";
+  parallel.name = "par";
+  parallel.ok = true;
+  parallel.metrics.threads = 4;
+  parallel.metrics.scaling_efficiency = 0.525;
+  RunRecord serial;
+  serial.suite = "s";
+  serial.name = "ser";
+  serial.ok = true;  // defaults: threads = 1, no efficiency
+  std::ostringstream os;
+  runner::write_bench_json(os, {parallel, serial}, {});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scaling_efficiency\": 0.525"), std::string::npos)
+      << json;
+  // Exactly one point-level "threads" (the top-level meta field is the
+  // sweep pool size, always present) and one efficiency field: the
+  // serial point emits neither.
+  EXPECT_EQ(json.find("\"scaling_efficiency\""),
+            json.rfind("\"scaling_efficiency\""))
+      << json;
+  EXPECT_EQ(json.find("\"threads\": 4"), json.rfind("\"threads\": 4")) << json;
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,285 @@
+// Conservative parallel engine mechanics (sim/parallel.hpp): window
+// execution, the deterministic cross-LP mailbox merge, and the
+// determinism contract's core claim — same seed ⇒ same combined digest
+// for any worker count.  These tests build small synthetic LP graphs
+// directly on ParallelEngine; tests/parallel_scaling_test.cpp covers the
+// topology-derived fabric workload and the SimCluster facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+#include "trace/trace.hpp"
+
+namespace acc {
+namespace {
+
+using sim::Engine;
+using sim::ParallelConfig;
+using sim::ParallelEngine;
+
+ParallelConfig config(std::size_t threads, Time lookahead) {
+  ParallelConfig cfg;
+  cfg.threads = threads;
+  cfg.lookahead = lookahead;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Engine window primitive
+// ---------------------------------------------------------------------
+
+TEST(EngineWindow, RunsStrictlyBeforeTheEdge) {
+  Engine eng;
+  std::vector<int> ran;
+  eng.schedule_at(Time::nanos(0), [&] { ran.push_back(0); });
+  eng.schedule_at(Time::nanos(5), [&] { ran.push_back(5); });
+  eng.schedule_at(Time::nanos(10), [&] { ran.push_back(10); });  // at edge
+  eng.run_window(Time::nanos(10));
+  // Events at exactly the edge belong to the next window.
+  EXPECT_EQ(ran, (std::vector<int>{0, 5}));
+  EXPECT_EQ(eng.now(), Time::nanos(5));  // no idle-advance to the edge
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run_window(Time::nanos(20));
+  EXPECT_EQ(ran, (std::vector<int>{0, 5, 10}));
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Construction and discipline violations
+// ---------------------------------------------------------------------
+
+TEST(ParallelEngine, MultiLpRequiresPositiveLookahead) {
+  EXPECT_THROW(ParallelEngine(2, config(1, Time::zero())),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelEngine(0, config(1, Time::nanos(1))),
+               std::invalid_argument);
+  // Single LP: zero lookahead is the degenerate-but-valid facade shape.
+  ParallelEngine single(1, config(4, Time::zero()));
+  EXPECT_EQ(single.lp_count(), 1u);
+  // Workers are clamped to the LP count — extra threads would only idle.
+  EXPECT_EQ(single.threads(), 1u);
+}
+
+TEST(ParallelEngine, CrossLpPostBelowLookaheadThrows) {
+  ParallelEngine peng(2, config(1, Time::micros(1)));
+  EXPECT_THROW(peng.post(0, 1, Time::nanos(999), [] {}), std::logic_error);
+  // Same-LP posts take the direct schedule path: any delay is legal.
+  peng.post(0, 0, Time::nanos(1), [] {});
+  peng.post(0, 1, Time::micros(1), [] {});  // exactly lookahead: legal
+  peng.run();
+  EXPECT_EQ(peng.events_executed(), 2u);
+}
+
+TEST(ParallelEngine, ShardExceptionPropagatesOutOfRun) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    ParallelEngine peng(2, config(threads, Time::micros(1)));
+    peng.lp(1).schedule_at(Time::nanos(10), [] {
+      throw std::runtime_error("lp exploded");
+    });
+    peng.lp(0).schedule_at(Time::nanos(10), [] {});
+    try {
+      peng.run();
+      FAIL() << "expected the shard exception to escape run()";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "lp exploded");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Mailbox merge order
+// ---------------------------------------------------------------------
+
+TEST(ParallelEngine, MailboxMergeIsCanonicalAcrossThreadCounts) {
+  // LP1 and LP2 both post two events to LP0 for the *same* destination
+  // instant; LP0 also has its own event there, scheduled at setup time.
+  // The required order is: LP0's own event (earliest sequence), then
+  // src-LP ascending, then post order within a source — independent of
+  // which worker ran which shard.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ParallelEngine peng(3, config(threads, Time::nanos(10)));
+    // Execution log: written only by LP0 callbacks, i.e. LP-confined.
+    std::vector<std::pair<int, int>> order;  // (src, post index)
+    peng.lp(0).schedule_at(Time::nanos(10), [&] { order.push_back({0, 0}); });
+    for (std::size_t src : {std::size_t{1}, std::size_t{2}}) {
+      ParallelEngine* pp = &peng;
+      std::vector<std::pair<int, int>>* log = &order;
+      const int s = static_cast<int>(src);
+      peng.lp(src).schedule_at(Time::nanos(0), [pp, log, s, src] {
+        pp->post(src, 0, Time::nanos(10), [log, s] { log->push_back({s, 0}); });
+        pp->post(src, 0, Time::nanos(10), [log, s] { log->push_back({s, 1}); });
+      });
+    }
+    peng.run();
+    const std::vector<std::pair<int, int>> expected = {
+        {0, 0}, {1, 0}, {1, 1}, {2, 0}, {2, 1}};
+    EXPECT_EQ(order, expected) << "threads=" << threads;
+    EXPECT_EQ(peng.cross_posts(), 4u);
+  }
+}
+
+TEST(ParallelEngine, MailboxKeepsFifoOrderPerSourceUnderLoad) {
+  // A single source streams many posts into one destination, several per
+  // window; the destination must observe them in exact post order.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    ParallelEngine peng(2, config(threads, Time::nanos(100)));
+    std::vector<int> seen;
+    ParallelEngine* pp = &peng;
+    std::vector<int>* out = &seen;
+    for (int k = 0; k < 64; ++k) {
+      peng.lp(1).schedule_at(Time::nanos(k % 4), [pp, out, k] {
+        pp->post(1, 0, Time::nanos(100 + k % 3), [out, k] {
+          out->push_back(k);
+        });
+      });
+    }
+    peng.run();
+    ASSERT_EQ(seen.size(), 64u);
+    // Arrivals sort by (arrival time, post order), and posts happen in
+    // source-execution order, i.e. by (inject time, schedule order) =
+    // (k % 4, k).  Reconstruct that expectation independently.
+    std::vector<std::tuple<int, int, int>> keyed;  // (arrival, k%4, k)
+    for (int k = 0; k < 64; ++k) {
+      keyed.emplace_back(k % 4 + 100 + k % 3, k % 4, k);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<int> expected;
+    for (const auto& t : keyed) expected.push_back(std::get<2>(t));
+    EXPECT_EQ(seen, expected) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Determinism across worker counts
+// ---------------------------------------------------------------------
+
+struct RingCtx {
+  ParallelEngine* peng = nullptr;
+  // One slot per LP; only the owning LP's callbacks write slot i.
+  std::vector<std::uint64_t> token_sum;
+};
+
+void ring_hop(RingCtx* c, std::uint32_t lp, std::uint32_t remaining,
+              std::uint64_t token) {
+  Engine& eng = c->peng->lp(lp);
+  token = token * 6364136223846793005ULL + lp;
+  c->token_sum[lp] += token;
+  eng.tracer().instant(trace::Category::kNet, static_cast<int>(lp),
+                       "ring/hop", eng.now(),
+                       static_cast<std::int64_t>(token >> 32));
+  if (remaining == 0) return;
+  const std::uint32_t next =
+      (lp + 1) % static_cast<std::uint32_t>(c->peng->lp_count());
+  c->peng->post(lp, next, Time::nanos(50),
+                [c, next, remaining, token] {
+                  ring_hop(c, next, remaining - 1, token);
+                });
+}
+
+/// Runs `tokens` tokens 96 hops around an 8-LP ring and returns the
+/// run's (combined digest, events, per-LP token fold).
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t> ring_run(
+    std::size_t threads, std::size_t tokens) {
+  ParallelEngine peng(8, config(threads, Time::nanos(50)));
+  RingCtx ctx;
+  ctx.peng = &peng;
+  ctx.token_sum.assign(peng.lp_count(), 0);
+  for (std::size_t i = 0; i < peng.lp_count(); ++i) {
+    peng.lp(i).tracer().enable(/*ring_capacity=*/32);
+  }
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const std::uint32_t lp = static_cast<std::uint32_t>(t % peng.lp_count());
+    RingCtx* cp = &ctx;
+    const std::uint64_t seed_token = 0x9E3779B97F4A7C15ULL * (t + 1);
+    peng.lp(lp).schedule_at(Time::nanos(static_cast<std::int64_t>(t % 7)),
+                            [cp, lp, seed_token] {
+                              ring_hop(cp, lp, 96, seed_token);
+                            });
+  }
+  const Time end = peng.run();
+  EXPECT_GT(end, Time::zero());
+  EXPECT_GT(peng.windows(), 1u);
+  EXPECT_GT(peng.cross_posts(), 0u);
+  std::uint64_t fold = 0;
+  for (std::uint64_t v : ctx.token_sum) fold = fold * 1099511628211ULL + v;
+  return {peng.combined_digest(), peng.events_executed(), fold};
+}
+
+TEST(ParallelEngine, RingDigestIndependentOfWorkerCount) {
+  const auto reference = ring_run(/*threads=*/1, /*tokens=*/24);
+  EXPECT_GT(std::get<1>(reference), 24u * 96u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const auto run = ring_run(threads, 24);
+    EXPECT_EQ(std::get<0>(run), std::get<0>(reference))
+        << "digest diverged at threads=" << threads;
+    EXPECT_EQ(std::get<1>(run), std::get<1>(reference))
+        << "event count diverged at threads=" << threads;
+    EXPECT_EQ(std::get<2>(run), std::get<2>(reference))
+        << "token fold diverged at threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, SingleAdoptedShardPreservesEngineDigest) {
+  // The SimCluster facade shape: one pre-existing engine adopted as LP 0
+  // must produce the exact serial dispatch order and expose the
+  // engine's own tracer digest as the combined digest.
+  auto build = [](Engine& eng, std::vector<int>& ran) {
+    eng.tracer().enable(/*ring_capacity=*/16);
+    for (int k = 0; k < 32; ++k) {
+      eng.schedule_at(Time::nanos(k % 5), [&eng, &ran, k] {
+        ran.push_back(k);
+        eng.tracer().instant(trace::Category::kApp, k % 3, "facade/ev",
+                             eng.now(), k);
+        if (k % 4 == 0) {
+          eng.schedule(Time::nanos(2), [&ran, k] { ran.push_back(1000 + k); });
+        }
+      });
+    }
+  };
+  Engine serial;
+  std::vector<int> serial_ran;
+  build(serial, serial_ran);
+  serial.run();
+
+  Engine adopted;
+  std::vector<int> adopted_ran;
+  build(adopted, adopted_ran);
+  ParallelEngine peng({&adopted}, config(4, Time::zero()));
+  peng.run();
+
+  EXPECT_EQ(adopted_ran, serial_ran);
+  EXPECT_EQ(adopted.events_executed(), serial.events_executed());
+  EXPECT_EQ(peng.combined_digest(), serial.tracer().digest());
+  EXPECT_EQ(peng.windows(), 1u);  // one full-horizon window
+}
+
+TEST(ParallelEngine, StatsAccountEveryShardEvent) {
+  ParallelEngine peng(4, config(2, Time::nanos(10)));
+  for (std::size_t lp = 0; lp < 4; ++lp) {
+    for (int k = 0; k < 5; ++k) {
+      peng.lp(lp).schedule_at(Time::nanos(k * 10), [] {});
+    }
+  }
+  peng.run();
+  const auto stats = peng.shard_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.events, 5u);
+    total += s.events;
+  }
+  EXPECT_EQ(total, peng.events_executed());
+}
+
+}  // namespace
+}  // namespace acc
