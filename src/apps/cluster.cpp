@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 
 #include "sim/parallel.hpp"
 
@@ -100,21 +102,6 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
         "ClusterOptions::collective_backend = kNic requires an INIC "
         "interconnect (the collective state machines live on the cards)");
   }
-  // Environment-driven tracing (documented on tracer()): any existing
-  // example or benchmark can be traced without code changes.  The
-  // environment is captured once per process (see trace_env()).
-  const TraceEnv& env = trace_env();
-  if (env.trace_json) {
-    env_trace_json_ = true;
-    eng_.tracer().enable();
-  }
-  if (env.trace_digest) {
-    env_trace_digest_ = true;
-    // A tiny ring suffices: the digest covers every emitted record
-    // regardless of retention.
-    if (!eng_.tracer().enabled()) eng_.tracer().enable(/*ring_capacity=*/64);
-  }
-
   net::NetworkConfig net_cfg;
   net_cfg.line_rate = ic == Interconnect::kFastEthernetTcp
                           ? cal.fast_ethernet_line_rate
@@ -123,7 +110,64 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
   net_cfg.port_buffer = cal.switch_port_buffer;
   net_cfg.topology = opts_.topology;
   net_cfg.routing.adaptive = opts_.adaptive_routing;
-  network_ = std::make_unique<net::Network>(eng_, n, net_cfg);
+
+  // LP-sharding decision (ClusterOptions::engine_threads doc): threads
+  // >= 2 on a multi-switch fabric with no cross-LP-mutating features
+  // partitions the cluster — one LP per switch, hosts on their edge
+  // switch's LP.  Everything else (star, adaptive routing, degraded
+  // fallback) keeps the serial-identical facade: run() then adopts eng_
+  // as a single LP, which is bit-identical to plain eng_.run().
+  const bool want_shard = opts_.engine_threads >= 2 &&
+                          !opts_.adaptive_routing &&
+                          !(is_inic(ic) && opts_.degraded_fallback);
+  if (want_shard) {
+    net::TopologyPlan plan = net::build_topology(net_cfg.topology, n);
+    if (plan.switches.size() > 1) {
+      // Per-link latency: the delay a frame needs to become visible at
+      // the peer switch — link propagation plus the peer's forwarding
+      // latency, exactly what forward_at() posts cross-LP hops with.
+      const Time hop = net_cfg.link_latency + net_cfg.switch_latency;
+      partition_ = net::build_lp_partition(
+          plan, [hop](int, int) { return hop; });
+      std::vector<sim::Engine*> shards;
+      shards.reserve(partition_.lp_count);
+      shards.push_back(&eng_);
+      shard_engines_.reserve(partition_.lp_count - 1);
+      for (std::size_t i = 1; i < partition_.lp_count; ++i) {
+        shard_engines_.push_back(std::make_unique<sim::Engine>());
+        shards.push_back(shard_engines_.back().get());
+      }
+      sim::ParallelConfig pcfg;
+      pcfg.threads = opts_.engine_threads;
+      pcfg.lookahead = partition_.lookahead;
+      parallel_ =
+          std::make_unique<sim::ParallelEngine>(std::move(shards), pcfg);
+    }
+  }
+
+  // Environment-driven tracing (documented on tracer()): any existing
+  // example or benchmark can be traced without code changes.  The
+  // environment is captured once per process (see trace_env()).  Sharded
+  // runs arm every LP lane so the combined digest covers the full event
+  // stream.
+  const TraceEnv& env = trace_env();
+  if (env.trace_json) {
+    env_trace_json_ = true;
+    enable_tracing();
+  }
+  if (env.trace_digest) {
+    env_trace_digest_ = true;
+    // A tiny ring suffices: the digest covers every emitted record
+    // regardless of retention.
+    if (!eng_.tracer().enabled()) enable_tracing(/*ring_capacity=*/64);
+  }
+
+  if (parallel_) {
+    network_ = std::make_unique<net::Network>(*parallel_, partition_, n,
+                                              net_cfg);
+  } else {
+    network_ = std::make_unique<net::Network>(eng_, n, net_cfg);
+  }
 
   // Pre-size the event heap from the materialized topology: per-node
   // protocol machinery (timers, coroutine resumes) plus frames queued
@@ -136,6 +180,17 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
     fabric_ports += sw.ports.size();
   }
   eng_.reserve(64 + 16 * n + 4 * fabric_ports);
+  if (parallel_) {
+    // Each shard holds only its own switch's ports and attached hosts.
+    std::vector<std::size_t> hosts_per_lp(partition_.lp_count, 0);
+    for (const std::size_t lp : partition_.lp_of_host) ++hosts_per_lp[lp];
+    for (std::size_t lp = 1; lp < partition_.lp_count; ++lp) {
+      // Identity switch->LP map: LP lp owns switch lp.
+      const auto& sw = network_->plan().switches[lp];
+      parallel_->lp(lp).reserve(64 + 16 * hosts_per_lp[lp] +
+                                4 * sw.ports.size());
+    }
+  }
 
   hw::NodeConfig node_cfg;
   node_cfg.cpu.fft_mflops = cal.host_fft_mflops;
@@ -149,8 +204,12 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
   node_cfg.dma.max_burst = cal.dma_efficiency_threshold;
 
   for (std::size_t i = 0; i < n; ++i) {
-    nodes_.push_back(
-        std::make_unique<hw::Node>(eng_, static_cast<int>(i), node_cfg));
+    // Sharded: the node's whole device complex (CPU, PCI, DMA, and the
+    // card/NIC/TCP machinery built on it below) binds to its edge
+    // switch's LP engine, so every event it schedules is LP-local.
+    nodes_.push_back(std::make_unique<hw::Node>(node_engine(i),
+                                                static_cast<int>(i),
+                                                node_cfg));
   }
 
   if (is_inic(ic)) {
@@ -172,6 +231,10 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
       cards_.push_back(
           std::make_unique<inic::InicCard>(*nodes_[i], *network_, card_cfg));
     }
+    // Pre-size the collective-engine table: collective_engine(i) may be
+    // called from rank coroutines running on different LPs, and a lazy
+    // resize there would move slots out from under concurrent readers.
+    collective_engines_.resize(n);
     if (opts_.degraded_fallback) {
       // Degraded-mode plane: its own switch (Network::attach allows one
       // endpoint per port), standard NICs and TCP stacks on the same
@@ -227,17 +290,59 @@ SimCluster::SimCluster(std::size_t n, Interconnect ic,
 }
 
 Time SimCluster::run() {
+  // LP-sharded: the persistent window scheduler built at construction —
+  // device models already live on their LPs.
+  if (parallel_) return parallel_->run();
   if (opts_.engine_threads <= 1) return eng_.run();
-  // Parallel facade: the cluster's engine is LP 0 of a window-scheduled
-  // run.  The device models are not yet LP-partitioned, so the window
-  // scheduler sees a single shard and the conservative loop degenerates
-  // to one full-horizon window — bit-identical dispatch, bit-identical
-  // digest, for any thread count (tests/parallel_scaling_test.cpp pins
-  // this across {1,2,4,8} on every topology family).
+  // Single-shard facade (star topology, adaptive routing, or degraded
+  // fallback asked for threads anyway): the cluster's engine is LP 0 of
+  // a window-scheduled run, the conservative loop degenerates to one
+  // full-horizon window — bit-identical dispatch, bit-identical digest,
+  // for any thread count.
   sim::ParallelConfig cfg;
   cfg.threads = opts_.engine_threads;
   sim::ParallelEngine parallel({&eng_}, cfg);
   return parallel.run();
+}
+
+void SimCluster::enable_tracing(std::size_t ring_capacity) {
+  if (!parallel_) {
+    eng_.tracer().enable(ring_capacity);
+    return;
+  }
+  for (std::size_t lp = 0; lp < parallel_->lp_count(); ++lp) {
+    parallel_->lp(lp).tracer().enable(ring_capacity);
+  }
+}
+
+std::uint64_t SimCluster::trace_records() const {
+  if (!parallel_) return eng_.tracer().records_emitted();
+  std::uint64_t total = 0;
+  for (std::size_t lp = 0; lp < parallel_->lp_count(); ++lp) {
+    total += parallel_->lp(lp).tracer().records_emitted();
+  }
+  return total;
+}
+
+std::vector<trace::CounterSample> SimCluster::counters_snapshot() {
+  if (!parallel_) return eng_.counters().snapshot();
+  // Deterministic merge: every lane's snapshot is already in (category,
+  // node, name) order and each lane's totals are thread-count
+  // independent, so summing by key into an ordered map gives one merged
+  // view identical for any worker count.
+  std::map<std::tuple<trace::Category, int, std::string>, std::uint64_t> sum;
+  for (std::size_t lp = 0; lp < parallel_->lp_count(); ++lp) {
+    for (const auto& s : parallel_->lp(lp).counters().snapshot()) {
+      sum[{s.category, s.node, s.name}] += s.value;
+    }
+  }
+  std::vector<trace::CounterSample> out;
+  out.reserve(sum.size());
+  for (const auto& [key, value] : sum) {
+    out.push_back(trace::CounterSample{std::get<0>(key), std::get<1>(key),
+                                       std::get<2>(key), value});
+  }
+  return out;
 }
 
 sim::Channel<proto::Message>& SimCluster::inbox(std::size_t i) {
@@ -253,8 +358,7 @@ inic::CollectiveEngine& SimCluster::collective_engine(std::size_t i) {
     throw std::logic_error(
         "collective_engine(): no INIC cards on this interconnect");
   }
-  if (collective_engines_.empty()) collective_engines_.resize(size());
-  auto& slot = collective_engines_.at(i);
+  auto& slot = collective_engines_.at(i);  // pre-sized in the ctor
   if (!slot) {
     const int src = static_cast<int>(i);
     // Delivery confirmation is only wired up when the card itself is the
@@ -328,8 +432,10 @@ SimCluster::~SimCluster() {
     if (out) eng_.tracer().write_chrome_json(out);
   }
   if (env_trace_digest_) {
+    // digest() is the combined multi-lane digest when sharded, the plain
+    // engine tracer digest (the golden-pinned value) when serial.
     std::fprintf(stderr, "acc-trace-digest %016llx\n",
-                 static_cast<unsigned long long>(eng_.tracer().digest()));
+                 static_cast<unsigned long long>(digest()));
   }
 }
 

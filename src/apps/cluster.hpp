@@ -12,10 +12,12 @@
 #include "inic/card.hpp"
 #include "inic/collective.hpp"
 #include "model/calibration.hpp"
+#include "net/lp_map.hpp"
 #include "net/network.hpp"
 #include "net/nic.hpp"
 #include "proto/tcp.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 
 namespace acc::apps {
 
@@ -87,15 +89,19 @@ struct ClusterOptions {
   /// existing run — and its trace digest — bit-identical.
   CollectiveBackend collective_backend = CollectiveBackend::kHost;
   /// Worker threads for the parallel event engine (sim/parallel.hpp).
-  /// 0 and 1 both run the classic single-heap serial engine; larger
-  /// values drive the run through the conservative time-window scheduler.
-  /// The determinism contract is thread-count independence: same seed →
-  /// same digest for ANY value here (docs/TRACING.md), pinned by
-  /// tests/parallel_scaling_test.cpp.  Today the cluster's device models
-  /// all share state across subsystems, so they stay on LP 0 and the
-  /// multi-LP speedup applies to LP-partitioned workloads
-  /// (net/lp_workload.hpp); migrating the fabric switches onto their
-  /// topology-derived LPs (net/lp_map.hpp) is the staged follow-up.
+  /// 0 and 1 both run the classic single-heap serial engine — byte-
+  /// identical to every historical run, so the golden digest pins hold.
+  /// Values >= 2 LP-partition the cluster (net/lp_map.hpp): each switch
+  /// becomes an LP, each host's devices (CPU/DMA/IRQ machinery, INIC
+  /// card or NIC+TCP stack) live on its edge-switch's LP, and the run
+  /// goes through the conservative window scheduler.  The determinism
+  /// contract is thread-count independence *within* the partitioned
+  /// mode: any threads >= 2 produces bit-identical combined digests and
+  /// identical counter totals (docs/TRACING.md), and the counter totals
+  /// equal the serial run's — pinned by tests/parallel_scaling_test.cpp.
+  /// Configurations the partition cannot honour (single-switch star,
+  /// adaptive routing, degraded fallback) transparently run the serial
+  /// facade regardless of this value.
   std::size_t engine_threads = 1;
 };
 
@@ -112,13 +118,58 @@ class SimCluster {
 
   sim::Engine& engine() { return eng_; }
 
+  /// Non-null when the cluster is LP-sharded (see
+  /// ClusterOptions::engine_threads): the window scheduler whose LP 0 is
+  /// engine().  Workload drivers bind their ProcessGroup to it and
+  /// spawn_on(node_lp(i), ...) so each rank's process executes on the
+  /// LP owning that rank's devices.
+  sim::ParallelEngine* parallel() { return parallel_.get(); }
+  bool sharded() const { return parallel_ != nullptr; }
+
+  /// LP owning node `i`'s devices (0 when serial).
+  std::size_t node_lp(std::size_t i) const {
+    return parallel_ ? partition_.lp_of_host.at(i) : 0;
+  }
+  /// The shard engine node `i`'s devices are bound to (engine() serial).
+  sim::Engine& node_engine(std::size_t i) {
+    return parallel_ ? parallel_->lp(partition_.lp_of_host.at(i)) : eng_;
+  }
+  /// The LP partition driving a sharded run (lookahead, cross-links);
+  /// nullptr when serial.
+  const net::LpPartition* partition() const {
+    return parallel_ ? &partition_ : nullptr;
+  }
+
   /// Runs the simulation to completion honouring
-  /// options().engine_threads: the classic serial dispatch loop at <= 1,
-  /// the parallel engine's window scheduler above (the cluster's engine
-  /// is LP 0; see ClusterOptions::engine_threads for the LP-migration
-  /// status).  Digests are bit-identical either way.  Returns the final
-  /// simulated time.
+  /// options().engine_threads: the classic serial dispatch loop at <= 1;
+  /// at >= 2 the conservative window scheduler over the topology-derived
+  /// LP partition (or a single adopted LP 0 when the configuration
+  /// cannot shard — star fabric, adaptive routing, degraded fallback —
+  /// which stays bit-identical to serial).  Returns the final simulated
+  /// time.
   Time run();
+
+  /// Enables tracing on every LP lane (just the main engine's when
+  /// serial) — use instead of tracer().enable() so sharded runs record
+  /// all lanes and digest() covers the full event stream.
+  void enable_tracing(std::size_t ring_capacity = 0);
+
+  /// The run's determinism digest: the engine tracer digest when serial
+  /// (golden pins), ParallelEngine::combined_digest() when sharded.
+  std::uint64_t digest() const {
+    return parallel_ ? parallel_->combined_digest() : eng_.tracer().digest();
+  }
+  /// Trace records emitted across every lane.
+  std::uint64_t trace_records() const;
+  /// Events executed across every shard (engine().events_executed()
+  /// serial).
+  std::uint64_t events_executed() const {
+    return parallel_ ? parallel_->events_executed() : eng_.events_executed();
+  }
+  /// Counter snapshot merged across every LP's registry: per-LP totals
+  /// summed by (category, node, name), in the registry's deterministic
+  /// order.  Identical to engine().counters().snapshot() when serial.
+  std::vector<trace::CounterSample> counters_snapshot();
 
   /// The engine's trace stream; enable() it before a run to record.
   /// Also honours two environment variables (captured once per process —
@@ -179,6 +230,15 @@ class SimCluster {
   ClusterOptions opts_;
   bool env_trace_json_ = false;
   bool env_trace_digest_ = false;
+  // LP-sharded mode (engine_threads >= 2 on a shardable configuration):
+  // the topology-derived partition, the extra shard engines (LP 0 is
+  // eng_), and the window scheduler adopting all of them.  Declared
+  // before network_/nodes_ (which bind to the shard engines) so those
+  // are destroyed first, and parallel_ after shard_engines_ so its
+  // worker pool stops while every shard it references is still alive.
+  net::LpPartition partition_;
+  std::vector<std::unique_ptr<sim::Engine>> shard_engines_;
+  std::unique_ptr<sim::ParallelEngine> parallel_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
   std::vector<std::unique_ptr<net::StandardNic>> nics_;

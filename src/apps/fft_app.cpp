@@ -18,6 +18,13 @@ namespace acc::apps {
 
 namespace {
 
+/// Group bound to the cluster's parallel scheduler when sharded, to the
+/// serial engine otherwise; pair with spawn_on(cluster.node_lp(p), ...).
+sim::ProcessGroup cluster_group(SimCluster& cluster) {
+  return cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                            : sim::ProcessGroup(cluster.engine());
+}
+
 using algo::Complex;
 using algo::Matrix;
 
@@ -114,7 +121,7 @@ sim::Process transpose_host_tcp(SimCluster& cluster, std::size_t me,
     }
     sim::Process send = cluster.tcp(me).send_message(
         static_cast<int>(dst), block_bytes, tag, std::move(payload));
-    send.start(cluster.engine());
+    send.start(cluster.node_engine(me));
     co_await recv_for_round(cluster.tcp(me).inbox(), state, tag, 1, received);
     co_await send;
   }
@@ -162,7 +169,7 @@ sim::Process transpose_inic(SimCluster& cluster, std::size_t me,
     sends.push_back(std::make_unique<sim::Process>(
         cluster.transfer(static_cast<int>(me), static_cast<int>(q),
                          block_bytes, round, std::move(payload))));
-    sends.back()->start(cluster.engine());
+    sends.back()->start(cluster.node_engine(me));
   }
   // Own block: host -> card leg (the card holds it for the permutation).
   co_await card.dma_from_host(block_bytes);
@@ -269,9 +276,10 @@ FftRunResult run_parallel_fft(SimCluster& cluster, std::size_t n,
   }
 
   std::vector<Time> compute(p_count, Time::zero());
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t p = 0; p < p_count; ++p) {
-    group.spawn(fft_node(cluster, p, state[p], n, opts.verify, compute[p]));
+    group.spawn_on(cluster.node_lp(p),
+                   fft_node(cluster, p, state[p], n, opts.verify, compute[p]));
   }
   const Time total = group.join();
 

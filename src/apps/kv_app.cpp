@@ -63,6 +63,29 @@ struct KvCounters {
   trace::Counter* response_bytes = nullptr;
 };
 
+/// The KV counters as registered on one engine.  Sharded, each LP's
+/// registry carries its own lane of every counter (single writer) and
+/// SimCluster::counters_snapshot() sums the lanes; serial, every call
+/// resolves to the same registry so this is the historical behaviour.
+KvCounters kv_counters(sim::Engine& eng) {
+  KvCounters ctr;
+  ctr.requests = &eng.counters().get(trace::Category::kApp, -1, "kv/requests");
+  ctr.responses =
+      &eng.counters().get(trace::Category::kApp, -1, "kv/responses");
+  ctr.gets = &eng.counters().get(trace::Category::kApp, -1, "kv/gets");
+  ctr.puts = &eng.counters().get(trace::Category::kApp, -1, "kv/puts");
+  ctr.response_bytes =
+      &eng.counters().get(trace::Category::kApp, -1, "kv/response_bytes");
+  return ctr;
+}
+
+/// Group bound to the cluster's parallel scheduler when sharded, to the
+/// serial engine otherwise; pair with spawn_on(cluster.node_lp(p), ...).
+sim::ProcessGroup cluster_group(SimCluster& cluster) {
+  return cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                            : sim::ProcessGroup(cluster.engine());
+}
+
 bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 /// Issues one request at its scheduled time.  One process per request is
@@ -70,8 +93,9 @@ bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 /// transfer (or its response), so server queueing delay lands in the
 /// measured latency instead of throttling the generator.
 sim::Process issue_request(SimCluster& cluster, PendingRequest req,
-                           const KvRunOptions& opts, KvCounters& ctr) {
-  sim::Engine& eng = cluster.engine();
+                           const KvRunOptions& opts) {
+  sim::Engine& eng = cluster.node_engine(static_cast<std::size_t>(req.client));
+  const KvCounters ctr = kv_counters(eng);
   co_await sim::DelayUntil{eng, req.issue_at};
   const Bytes up = req.is_get ? opts.request_bytes : opts.value_bytes;
   KvRequest payload;
@@ -88,14 +112,16 @@ sim::Process issue_request(SimCluster& cluster, PendingRequest req,
 
 /// Per-server shard: a single service unit draining requests in arrival
 /// order.  Each request costs service_time; responses go back
-/// fire-and-forget (spawned into the detached server group) so the next
-/// request's service overlaps the previous response's flight.
+/// fire-and-forget (held in a shard-local inflight list — spawning into a
+/// shared group from concurrent LP workers would race on its vectors) so
+/// the next request's service overlaps the previous response's flight.
 sim::Process serve_shard(SimCluster& cluster, int server_node,
-                         proto::TaggedInbox& inbox, sim::ProcessGroup& group,
-                         const KvRunOptions& opts,
+                         proto::TaggedInbox& inbox, const KvRunOptions& opts,
                          std::uint64_t& requests_served) {
-  sim::Engine& eng = cluster.engine();
+  sim::Engine& eng =
+      cluster.node_engine(static_cast<std::size_t>(server_node));
   std::unordered_map<std::uint32_t, std::uint64_t> store;
+  std::vector<std::unique_ptr<sim::Process>> inflight;
   for (;;) {
     proto::Message msg;
     co_await inbox.recv(kRequestTag, msg);
@@ -116,9 +142,9 @@ sim::Process serve_shard(SimCluster& cluster, int server_node,
       resp.value = store[req.key];  // PUT ack echoes the written value
     }
     const Bytes down = req.is_get ? opts.value_bytes : opts.request_bytes;
-    group.spawn(cluster.transfer(server_node, req.client, down, kResponseTag,
-                                 std::any(resp)),
-                "kv-response");
+    inflight.push_back(std::make_unique<sim::Process>(cluster.transfer(
+        server_node, req.client, down, kResponseTag, std::any(resp))));
+    inflight.back()->start(eng);
   }
 }
 
@@ -126,10 +152,11 @@ sim::Process serve_shard(SimCluster& cluster, int server_node,
 /// count and records each round-trip latency.
 sim::Process collect_responses(SimCluster& cluster, int client,
                                std::size_t expected, const KvRunOptions& opts,
-                               KvCounters& ctr,
                                trace::LatencyHistogram& latency,
-                               Bytes& payload_bytes, bool& values_ok) {
-  sim::Engine& eng = cluster.engine();
+                               Bytes& payload_bytes,
+                               std::uint8_t& values_ok) {
+  sim::Engine& eng = cluster.node_engine(static_cast<std::size_t>(client));
+  const KvCounters ctr = kv_counters(eng);
   proto::TaggedInbox inbox(cluster.inbox(static_cast<std::size_t>(client)));
   for (std::size_t i = 0; i < expected; ++i) {
     proto::Message msg;
@@ -140,7 +167,7 @@ sim::Process collect_responses(SimCluster& cluster, int client,
     ctr.responses->add(eng.now(), 1);
     ctr.response_bytes->add(eng.now(), msg.size.count());
     if (opts.verify && resp.value != kv_expected_value(resp.key)) {
-      values_ok = false;
+      values_ok = 0;
     }
   }
 }
@@ -216,49 +243,46 @@ KvRunResult run_kv_serving(SimCluster& cluster, const KvRunOptions& opts) {
     }
   }
 
-  KvCounters ctr;
-  ctr.requests = &eng.counters().get(trace::Category::kApp, -1, "kv/requests");
-  ctr.responses =
-      &eng.counters().get(trace::Category::kApp, -1, "kv/responses");
-  ctr.gets = &eng.counters().get(trace::Category::kApp, -1, "kv/gets");
-  ctr.puts = &eng.counters().get(trace::Category::kApp, -1, "kv/puts");
-  ctr.response_bytes =
-      &eng.counters().get(trace::Category::kApp, -1, "kv/response_bytes");
-
   KvRunResult result;
   result.clients = opts.clients;
   result.servers = opts.servers;
   result.per_server_requests.assign(opts.servers, 0);
 
   // Servers loop forever, so they live in a group that is never joined;
-  // their response transfers are spawned into the same detached group.
+  // their response transfers sit in each shard's local inflight list.
   // Clients (issuers + sinks) form the joined group whose last finish is
   // the run makespan.
-  sim::ProcessGroup servers(eng);
+  sim::ProcessGroup servers = cluster_group(cluster);
   std::vector<std::unique_ptr<proto::TaggedInbox>> server_inboxes;
   server_inboxes.reserve(opts.servers);
   for (std::size_t s = 0; s < opts.servers; ++s) {
     const int node = static_cast<int>(opts.clients + s);
     server_inboxes.push_back(std::make_unique<proto::TaggedInbox>(
         cluster.inbox(static_cast<std::size_t>(node))));
-    servers.spawn(serve_shard(cluster, node, *server_inboxes.back(), servers,
-                              opts, result.per_server_requests[s]),
-                  "kv-server");
+    servers.spawn_on(cluster.node_lp(static_cast<std::size_t>(node)),
+                     serve_shard(cluster, node, *server_inboxes.back(), opts,
+                                 result.per_server_requests[s]),
+                     "kv-server");
   }
 
   std::vector<trace::LatencyHistogram> per_client(opts.clients);
   std::vector<Bytes> client_bytes(opts.clients, Bytes::zero());
-  bool values_ok = true;
-  sim::ProcessGroup clients(eng);
+  // One verify flag per client (distinct memory locations): the sinks run
+  // on their nodes' LPs, so a single shared bool would be a data race.
+  std::vector<std::uint8_t> client_ok(opts.clients, 1);
+  sim::ProcessGroup clients = cluster_group(cluster);
   for (std::size_t c = 0; c < opts.clients; ++c) {
-    clients.spawn(collect_responses(cluster, static_cast<int>(c),
-                                    opts.requests_per_client, opts, ctr,
-                                    per_client[c], client_bytes[c],
-                                    values_ok),
-                  "kv-client");
+    clients.spawn_on(cluster.node_lp(c),
+                     collect_responses(cluster, static_cast<int>(c),
+                                       opts.requests_per_client, opts,
+                                       per_client[c], client_bytes[c],
+                                       client_ok[c]),
+                     "kv-client");
   }
   for (const PendingRequest& req : schedule) {
-    clients.spawn(issue_request(cluster, req, opts, ctr), "kv-issue");
+    clients.spawn_on(
+        cluster.node_lp(static_cast<std::size_t>(req.client)),
+        issue_request(cluster, req, opts), "kv-issue");
   }
   result.total = clients.join() - base;
 
@@ -284,6 +308,10 @@ KvRunResult run_kv_serving(SimCluster& cluster, const KvRunOptions& opts) {
     result.goodput_bytes_per_sec = static_cast<std::int64_t>(
         static_cast<double>(result.payload_bytes.count()) * 1e9 /
         static_cast<double>(result.total.as_nanos()));
+  }
+  bool values_ok = true;
+  for (std::uint8_t ok : client_ok) {
+    if (!ok) values_ok = false;
   }
   result.verified =
       opts.verify && values_ok && result.responses == result.requests;

@@ -16,6 +16,13 @@ namespace acc::apps {
 
 namespace {
 
+/// Group bound to the cluster's parallel scheduler when sharded, to the
+/// serial engine otherwise; pair with spawn_on(cluster.node_lp(p), ...).
+sim::ProcessGroup cluster_group(SimCluster& cluster) {
+  return cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                            : sim::ProcessGroup(cluster.engine());
+}
+
 using algo::Key;
 
 struct BucketPayload {
@@ -105,7 +112,7 @@ sim::Process sort_node_tcp(SimCluster& cluster, std::size_t me,
     sim::Process send = cluster.tcp(me).send_message(
         static_cast<int>(dst), Bytes(count * sizeof(Key)), r,
         std::move(payload));
-    send.start(cluster.engine());
+    send.start(cluster.node_engine(me));
 
     proto::Message msg = co_await cluster.tcp(me).inbox().recv();
     co_await send;
@@ -164,7 +171,7 @@ sim::Process sort_node_inic(SimCluster& cluster, std::size_t me,
     sends.push_back(std::make_unique<sim::Process>(
         cluster.transfer(static_cast<int>(me), static_cast<int>(q),
                          Bytes(count * sizeof(Key)), 0, std::move(payload))));
-    sends.back()->start(cluster.engine());
+    sends.back()->start(cluster.node_engine(me));
   }
 
   // Own bucket: host -> card -> (stream sorter) -> host.
@@ -286,14 +293,16 @@ SortRunResult run_parallel_sort(SimCluster& cluster, std::size_t total_keys,
     }
   }
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t p = 0; p < p_count; ++p) {
     if (is_inic(cluster.interconnect()) && p_count > 1) {
-      group.spawn(sort_node_inic(cluster, p, state[p], opts.verify,
-                                 opts.cache_buckets));
+      group.spawn_on(cluster.node_lp(p),
+                     sort_node_inic(cluster, p, state[p], opts.verify,
+                                    opts.cache_buckets));
     } else {
-      group.spawn(sort_node_tcp(cluster, p, state[p], opts.verify,
-                                opts.cache_buckets));
+      group.spawn_on(cluster.node_lp(p),
+                     sort_node_tcp(cluster, p, state[p], opts.verify,
+                                   opts.cache_buckets));
     }
   }
   const Time total = group.join();

@@ -34,6 +34,7 @@ class Transport {
   Transport(apps::SimCluster& cluster, std::size_t me)
       : cluster_(cluster),
         me_(me),
+        eng_(cluster.node_engine(me)),
         inic_(apps::is_inic(cluster.interconnect())),
         inbox_(inic_ ? cluster.card(me).card_inbox()
                      : cluster.tcp(me).inbox()) {}
@@ -57,12 +58,25 @@ class Transport {
   std::size_t me() const { return me_; }
   apps::SimCluster& cluster() { return cluster_; }
 
+  /// The engine of this rank's node — its LP's engine when the cluster
+  /// is sharded, the cluster engine otherwise.  Rank coroutines must
+  /// schedule exclusively here so every event stays on the owning LP.
+  sim::Engine& engine() { return eng_; }
+
  private:
   apps::SimCluster& cluster_;
   std::size_t me_;
+  sim::Engine& eng_;
   bool inic_;
   proto::TaggedInbox inbox_;
 };
+
+/// Group bound to the cluster's parallel scheduler when sharded, to the
+/// serial engine otherwise; pair with spawn_on(cluster.node_lp(p), ...).
+sim::ProcessGroup cluster_group(apps::SimCluster& cluster) {
+  return cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                            : sim::ProcessGroup(cluster.engine());
+}
 
 Bytes vec_bytes(std::size_t elements) { return Bytes(elements * sizeof(double)); }
 
@@ -99,7 +113,7 @@ sim::Process combine(Transport& t, DoubleVec& into, const DoubleVec& from) {
 
 sim::Process barrier_rank(Transport t, std::size_t p_count, Time enter_delay,
                           Time& entered, Time& left) {
-  sim::Engine& eng = t.cluster().engine();
+  sim::Engine& eng = t.engine();
   co_await sim::Delay{eng, enter_delay};
   entered = eng.now();
 
@@ -123,7 +137,7 @@ sim::Process barrier_rank(Transport t, std::size_t p_count, Time enter_delay,
 sim::Process bcast_rank(Transport t, std::size_t p_count,
                         std::size_t elements, DoubleVec& data,
                         RankOrder order = nullptr, std::size_t logical = 0) {
-  sim::Engine& eng = t.cluster().engine();
+  sim::Engine& eng = t.engine();
   // The binomial mask logic runs over *logical* ranks; sends address the
   // physical node holding the target rank.  Identity order: me == t.me().
   const std::size_t me = order ? logical : t.me();
@@ -187,13 +201,14 @@ CollectiveResult run_barrier(apps::SimCluster& cluster) {
   const std::size_t p_count = cluster.size();
   std::vector<Time> entered(p_count), left(p_count);
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t p = 0; p < p_count; ++p) {
     // Staggered entry makes the barrier property non-trivial: the last
     // entrant arrives (P-1) * 50 us after the first.
-    group.spawn(barrier_rank(Transport(cluster, p), p_count,
-                             Time::micros(50.0 * static_cast<double>(p)),
-                             entered[p], left[p]));
+    group.spawn_on(cluster.node_lp(p),
+                   barrier_rank(Transport(cluster, p), p_count,
+                                Time::micros(50.0 * static_cast<double>(p)),
+                                entered[p], left[p]));
   }
   const Time total = group.join();
 
@@ -215,11 +230,12 @@ CollectiveResult run_broadcast(apps::SimCluster& cluster, std::size_t elements,
   std::vector<DoubleVec> data(p_count);  // indexed by physical node
   data[to_physical(order, 0)] = root_data;
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t p = 0; p < p_count; ++p) {
     const std::size_t phys = to_physical(order, p);
-    group.spawn(bcast_rank(Transport(cluster, phys), p_count, elements,
-                           data[phys], order, p));
+    group.spawn_on(cluster.node_lp(phys),
+                   bcast_rank(Transport(cluster, phys), p_count, elements,
+                              data[phys], order, p));
   }
   const Time total = group.join();
 
@@ -246,11 +262,12 @@ CollectiveResult run_reduce(apps::SimCluster& cluster, std::size_t elements,
     for (std::size_t i = 0; i < elements; ++i) expected[i] += data[p][i];
   }
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t p = 0; p < p_count; ++p) {
     const std::size_t phys = to_physical(order, p);
-    group.spawn(reduce_rank(Transport(cluster, phys), p_count, elements,
-                            data[phys], order, p));
+    group.spawn_on(cluster.node_lp(phys),
+                   reduce_rank(Transport(cluster, phys), p_count, elements,
+                               data[phys], order, p));
   }
   const Time total = group.join();
 
@@ -284,7 +301,7 @@ CollectiveResult run_allreduce(apps::SimCluster& cluster, std::size_t elements,
     Transport t(cluster, phys);
     co_await reduce_steps(t, p_count, elements, data[phys], order, p);
     // Rebind tags for the broadcast half.
-    sim::Engine& eng = cluster.engine();
+    sim::Engine& eng = t.engine();
     const std::size_t me = p;
     std::size_t mask = 1;
     while (mask < p_count) {
@@ -311,8 +328,10 @@ CollectiveResult run_allreduce(apps::SimCluster& cluster, std::size_t elements,
     for (auto& s : sends) co_await *s;
   };
 
-  sim::ProcessGroup group(cluster.engine());
-  for (std::size_t p = 0; p < p_count; ++p) group.spawn(rank_proc(p));
+  sim::ProcessGroup group = cluster_group(cluster);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    group.spawn_on(cluster.node_lp(to_physical(order, p)), rank_proc(p));
+  }
   const Time total = group.join();
 
   CollectiveResult result;
@@ -346,11 +365,14 @@ CollectiveResult run_alltoall(apps::SimCluster& cluster, std::size_t elements,
   };
   std::vector<std::vector<bool>> got(p_count,
                                      std::vector<bool>(p_count, false));
-  bool data_ok = true;
+  // One flag per rank: each coroutine may run on a different LP worker,
+  // so a single shared bool would be a write-write race.  uint8_t (not
+  // vector<bool>) keeps each rank's flag a distinct memory location.
+  std::vector<std::uint8_t> rank_ok(p_count, 1);
 
   auto rank_proc = [&](std::size_t p) -> sim::Process {
     Transport t(cluster, p);
-    sim::Engine& eng = cluster.engine();
+    sim::Engine& eng = t.engine();
     got[p][p] = true;  // own block stays local
     if (t.inic()) {
       // INIC: all streams go out concurrently under credit control.
@@ -368,7 +390,7 @@ CollectiveResult run_alltoall(apps::SimCluster& cluster, std::size_t elements,
         const auto block = std::any_cast<DoubleVec>(std::move(msg.payload));
         const auto src = static_cast<std::size_t>(msg.src);
         got[p][src] = true;
-        if (block != block_for(src, p)) data_ok = false;
+        if (block != block_for(src, p)) rank_ok[p] = 0;
       }
       for (auto& s : sends) co_await *s;
     } else {
@@ -384,13 +406,15 @@ CollectiveResult run_alltoall(apps::SimCluster& cluster, std::size_t elements,
         const auto block = std::any_cast<DoubleVec>(std::move(msg.payload));
         const auto src = static_cast<std::size_t>(msg.src);
         got[p][src] = true;
-        if (block != block_for(src, p)) data_ok = false;
+        if (block != block_for(src, p)) rank_ok[p] = 0;
       }
     }
   };
 
-  sim::ProcessGroup group(cluster.engine());
-  for (std::size_t p = 0; p < p_count; ++p) group.spawn(rank_proc(p));
+  sim::ProcessGroup group = cluster_group(cluster);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    group.spawn_on(cluster.node_lp(p), rank_proc(p));
+  }
   const Time total = group.join();
 
   CollectiveResult result;
@@ -398,7 +422,10 @@ CollectiveResult run_alltoall(apps::SimCluster& cluster, std::size_t elements,
   result.interconnect = cluster.interconnect();
   result.payload = vec_bytes(elements);
   result.total = total;
-  result.verified = data_ok;
+  result.verified = true;
+  for (std::uint8_t ok : rank_ok) {
+    if (!ok) result.verified = false;
+  }
   for (const auto& row : got) {
     for (bool b : row) {
       if (!b) result.verified = false;

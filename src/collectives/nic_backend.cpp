@@ -40,6 +40,13 @@ DoubleVec make_vector(std::size_t elements, std::uint64_t seed) {
   return v;
 }
 
+/// Group bound to the cluster's parallel scheduler when sharded, to the
+/// serial engine otherwise; pair with spawn_on(cluster.node_lp(p), ...).
+sim::ProcessGroup cluster_group(apps::SimCluster& cluster) {
+  return cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                            : sim::ProcessGroup(cluster.engine());
+}
+
 /// Hop-ordered binomial tree: order[l] is the physical node acting as
 /// logical rank l; role[l] holds its physical parent/children.  Logical
 /// rank l's parent is l - lowbit(l); its children are l + m for every
@@ -78,7 +85,7 @@ NicTree build_tree(apps::SimCluster& cluster) {
 sim::Process barrier_rank(apps::SimCluster& cluster, std::size_t phys,
                           inic::TreeRole role, std::uint64_t op_id,
                           Time enter_delay, Time& entered, Time& left) {
-  sim::Engine& eng = cluster.engine();
+  sim::Engine& eng = cluster.node_engine(phys);
   co_await sim::Delay{eng, enter_delay};
   entered = eng.now();
   co_await cluster.collective_engine(phys).barrier(std::move(role), op_id);
@@ -100,13 +107,14 @@ CollectiveResult nic_barrier(apps::SimCluster& cluster) {
   const std::uint64_t op_id = cluster.next_collective_op();
   std::vector<Time> entered(p_count), left(p_count);
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t l = 0; l < p_count; ++l) {
     // Same staggered entry as the host barrier: the release property
     // must hold even when the last entrant is (P-1) * 50 us late.
-    group.spawn(barrier_rank(cluster, tree.order[l], tree.role[l], op_id,
-                             Time::micros(50.0 * static_cast<double>(l)),
-                             entered[l], left[l]));
+    group.spawn_on(cluster.node_lp(tree.order[l]),
+                   barrier_rank(cluster, tree.order[l], tree.role[l], op_id,
+                                Time::micros(50.0 * static_cast<double>(l)),
+                                entered[l], left[l]));
   }
   const Time total = group.join();
 
@@ -129,11 +137,12 @@ CollectiveResult nic_broadcast(apps::SimCluster& cluster,
   std::vector<DoubleVec> data(p_count);  // indexed by physical node
   data[tree.order[0]] = root_data;
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t l = 0; l < p_count; ++l) {
     const std::size_t phys = tree.order[l];
-    group.spawn(data_rank(cluster, phys, tree.role[l], op_id, data[phys],
-                          &inic::CollectiveEngine::broadcast));
+    group.spawn_on(cluster.node_lp(phys),
+                   data_rank(cluster, phys, tree.role[l], op_id, data[phys],
+                             &inic::CollectiveEngine::broadcast));
   }
   const Time total = group.join();
 
@@ -169,10 +178,11 @@ CollectiveResult nic_reduce_or_allreduce(
     }
   }
 
-  sim::ProcessGroup group(cluster.engine());
+  sim::ProcessGroup group = cluster_group(cluster);
   for (std::size_t l = 0; l < p_count; ++l) {
     const std::size_t phys = tree.order[l];
-    group.spawn(
+    group.spawn_on(
+        cluster.node_lp(phys),
         data_rank(cluster, phys, tree.role[l], op_id, data[phys], op));
   }
   const Time total = group.join();

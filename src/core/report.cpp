@@ -78,9 +78,11 @@ ClusterReport collect_report(apps::SimCluster& cluster) {
   report.frames_dropped = cluster.network().frames_dropped();
   report.bytes_forwarded = cluster.network().bytes_forwarded();
   report.peak_port_buffer = cluster.network().peak_buffer_occupancy();
-  report.counters = cluster.engine().counters().snapshot();
-  report.trace_records = cluster.tracer().records_emitted();
-  report.trace_digest = cluster.tracer().digest();
+  // Cluster-level accessors: merged across LP lanes when sharded, the
+  // historical single-engine values when serial.
+  report.counters = cluster.counters_snapshot();
+  report.trace_records = cluster.trace_records();
+  report.trace_digest = cluster.digest();
   return report;
 }
 

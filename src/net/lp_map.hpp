@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -60,5 +61,22 @@ struct LpPartition {
 /// is the true cross-LP delay; callers pass the conservative minimum they
 /// will honour in post() delays).
 LpPartition build_lp_partition(const TopologyPlan& plan, Time link_latency);
+
+/// Per-link latency callback: the one-way delay a frame leaving switch
+/// `src_sw` takes to reach switch `dst_sw` (link + any per-hop floor the
+/// fabric adds before the frame becomes visible to the peer).
+using LinkLatencyFn = std::function<Time(int src_sw, int dst_sw)>;
+
+/// Mixed-latency overload: stamps each directed cross-LP link with the
+/// latency `latency_of(src_sw, dst_sw)` reports for it, and sets the
+/// lookahead to the TRUE MINIMUM over those links.  A scalar latency on a
+/// heterogeneous fabric would silently overstate the lookahead and let
+/// the conservative windows admit causally-dependent events — this is the
+/// sound path.  Every reported latency must be positive; a zero or
+/// negative value (which would make the minimum lookahead unusable for
+/// conservative progress) is rejected with std::invalid_argument naming
+/// the offending link.
+LpPartition build_lp_partition(const TopologyPlan& plan,
+                               const LinkLatencyFn& latency_of);
 
 }  // namespace acc::net

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "sim/parallel.hpp"
+
 namespace acc::net {
 namespace {
 
@@ -24,29 +26,58 @@ const char* intern_counter_name(std::string name) {
 }  // namespace
 
 Fabric::Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
-    : eng_(eng),
-      cfg_(cfg),
-      plan_(build_topology(cfg.topology, ports)),
-      forwarded_(eng.counters().get(trace::Category::kNet, -1,
-                                    "net/frames_forwarded")),
-      dropped_(
-          eng.counters().get(trace::Category::kNet, -1, "net/frames_dropped")),
-      bytes_forwarded_(eng.counters().get(trace::Category::kNet, -1,
-                                          "net/bytes_forwarded")),
-      link_dropped_(
-          eng.counters().get(trace::Category::kNet, -1, "net/link_drops")),
-      burst_dropped_(
-          eng.counters().get(trace::Category::kNet, -1, "net/burst_drops")),
-      corrupted_(
-          eng.counters().get(trace::Category::kNet, -1, "net/corrupted")),
-      corrupted_bytes_(eng.counters().get(trace::Category::kNet, -1,
-                                          "net/bytes_corrupted")) {
+    : Fabric(eng, nullptr, nullptr, ports, cfg) {}
+
+Fabric::Fabric(sim::ParallelEngine& pe, const LpPartition& part,
+               std::size_t ports, const NetworkConfig& cfg)
+    : Fabric(pe.lp(0), &pe, &part, ports, cfg) {}
+
+Fabric::Fabric(sim::Engine& eng, sim::ParallelEngine* pe,
+               const LpPartition* part, std::size_t ports,
+               const NetworkConfig& cfg)
+    : eng_(eng), pe_(pe), part_(part), cfg_(cfg),
+      plan_(build_topology(cfg.topology, ports)) {
+  if (pe_ != nullptr && cfg_.routing.adaptive) {
+    throw std::invalid_argument(
+        "Fabric: adaptive routing mutates next-port tables and link-health "
+        "state shared by every switch; it is not supported on an LP-sharded "
+        "fabric (run the serial facade instead)");
+  }
+  if (part_ != nullptr && part_->lp_of_switch.size() != plan_.switches.size()) {
+    throw std::invalid_argument(
+        "Fabric: LP partition does not match the materialized topology");
+  }
+  const std::size_t lanes = part_ == nullptr ? 1 : part_->lp_count;
+  lanes_.resize(lanes);
+  lane_counters_.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    sim::Engine& le = pe_ == nullptr ? eng_ : pe_->lp(l);
+    auto& c = lane_counters_[l];
+    c.forwarded = &le.counters().get(trace::Category::kNet, -1,
+                                     "net/frames_forwarded");
+    c.dropped = &le.counters().get(trace::Category::kNet, -1,
+                                   "net/frames_dropped");
+    c.bytes_forwarded = &le.counters().get(trace::Category::kNet, -1,
+                                           "net/bytes_forwarded");
+    c.link_dropped =
+        &le.counters().get(trace::Category::kNet, -1, "net/link_drops");
+    c.burst_dropped =
+        &le.counters().get(trace::Category::kNet, -1, "net/burst_drops");
+    c.corrupted =
+        &le.counters().get(trace::Category::kNet, -1, "net/corrupted");
+    c.corrupted_bytes =
+        &le.counters().get(trace::Category::kNet, -1, "net/bytes_corrupted");
+  }
   const bool single = plan_.switches.size() == 1;
   switches_.reserve(plan_.switches.size());
   for (std::size_t s = 0; s < plan_.switches.size(); ++s) {
     const auto& spec = plan_.switches[s];
     auto sw = std::make_unique<Switch>(static_cast<int>(s), spec.level,
                                        spec.ports.size());
+    // Every per-port resource and counter binds to the engine of the
+    // switch's owning LP: the egress serializer computes completion times
+    // from that engine's clock, and only that LP's worker drives it.
+    sim::Engine& swe = switch_engine(static_cast<int>(s));
     for (std::size_t p = 0; p < spec.ports.size(); ++p) {
       auto& port = sw->out(p);
       port.peer_switch = spec.ports[p].peer_switch;
@@ -57,7 +88,7 @@ Fabric::Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
           single ? "egress-" + std::to_string(p)
                  : "sw" + std::to_string(s) + "-p" + std::to_string(p);
       port.egress =
-          std::make_unique<sim::FifoResource>(eng, cfg.line_rate, name);
+          std::make_unique<sim::FifoResource>(swe, cfg.line_rate, name);
       port.capacity = cfg.port_buffer;
       if (port.peer_switch >= 0) {
         // Interior-link counters are named by the *undirected* link,
@@ -66,7 +97,7 @@ Fabric::Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
         // label and tally into one counter.
         const int lo = std::min(static_cast<int>(s), port.peer_switch);
         const int hi = std::max(static_cast<int>(s), port.peer_switch);
-        port.congestion = &eng.counters().get(
+        port.congestion = &swe.counters().get(
             trace::Category::kNet, -1,
             intern_counter_name("net/link/s" + std::to_string(lo) + "-s" +
                                 std::to_string(hi)));
@@ -82,6 +113,72 @@ Fabric::Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg)
   }
 }
 
+sim::Engine& Fabric::switch_engine(int sw) {
+  return pe_ == nullptr ? eng_ : pe_->lp(lane_of_switch(sw));
+}
+
+sim::Engine& Fabric::host_engine(int host) {
+  return pe_ == nullptr ? eng_ : pe_->lp(lane_of_host(host));
+}
+
+void Fabric::require_unsharded(const char* what) const {
+  if (pe_ == nullptr) return;
+  throw std::logic_error(
+      std::string(what) +
+      ": fault hooks mutate per-port state owned by other LPs with no "
+      "delivery delay, which the conservative window discipline cannot "
+      "order; not supported on an LP-sharded fabric (run engine_threads "
+      "<= 1 for fault scenarios)");
+}
+
+std::uint64_t Fabric::frames_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.forwarded->value();
+  return total;
+}
+
+std::uint64_t Fabric::frames_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.dropped->value();
+  return total;
+}
+
+std::uint64_t Fabric::frames_dropped_link_down() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.link_dropped->value();
+  return total;
+}
+
+std::uint64_t Fabric::frames_dropped_burst() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.burst_dropped->value();
+  return total;
+}
+
+std::uint64_t Fabric::frames_corrupted() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.corrupted->value();
+  return total;
+}
+
+Bytes Fabric::bytes_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.bytes_forwarded->value();
+  return Bytes(total);
+}
+
+Bytes Fabric::bytes_corrupted() const {
+  std::uint64_t total = 0;
+  for (const auto& c : lane_counters_) total += c.corrupted_bytes->value();
+  return Bytes(total);
+}
+
+Bytes Fabric::peak_buffer_occupancy() const {
+  Bytes peak = Bytes::zero();
+  for (const auto& lane : lanes_) peak = std::max(peak, lane.peak_occupancy);
+  return peak;
+}
+
 Switch::OutPort& Fabric::host_port(int node) {
   const auto& attach = plan_.hosts.at(static_cast<std::size_t>(node));
   return switches_[static_cast<std::size_t>(attach.sw)]->out(attach.port);
@@ -93,27 +190,32 @@ const Switch::OutPort& Fabric::host_port(int node) const {
 }
 
 void Fabric::set_random_loss(double probability, std::uint64_t seed) {
+  require_unsharded("set_random_loss");
   loss_probability_ = probability;
   loss_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
 }
 
 void Fabric::set_burst_loss(const fault::GilbertElliottParams& params,
                             std::uint64_t seed) {
+  require_unsharded("set_burst_loss");
   burst_loss_ = std::make_unique<fault::GilbertElliott>(params, seed);
 }
 
 void Fabric::clear_burst_loss() { burst_loss_.reset(); }
 
 void Fabric::set_corruption(double probability, std::uint64_t seed) {
+  require_unsharded("set_corruption");
   corruption_probability_ = probability;
   corruption_rng_ = probability > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
 }
 
 void Fabric::set_link_state(int node, bool up) {
+  require_unsharded("set_link_state");
   host_port(node).link_up = up;
 }
 
 void Fabric::set_interior_link_state(int sw_a, int sw_b, bool up) {
+  require_unsharded("set_interior_link_state");
   if (!has_interior_link(sw_a, sw_b)) {
     throw std::invalid_argument(
         "set_interior_link_state: switches are not adjacent");
@@ -156,6 +258,7 @@ bool Fabric::has_interior_link(int sw_a, int sw_b) const {
 }
 
 void Fabric::set_port_rate_factor(int node, double factor) {
+  require_unsharded("set_port_rate_factor");
   // Documented contract: (0, 1].  A zero/negative (or NaN) factor is a
   // caller bug, not a degraded link — reject it instead of silently
   // running the port at a near-stalled 1e-6 of line rate.
@@ -173,6 +276,7 @@ void Fabric::set_port_rate_factor(int node, double factor) {
 }
 
 void Fabric::set_port_buffer_factor(int node, double factor) {
+  require_unsharded("set_port_buffer_factor");
   factor = std::clamp(factor, 0.0, 1.0);
   host_port(node).capacity = Bytes(static_cast<std::uint64_t>(
       static_cast<double>(cfg_.port_buffer.count()) * factor));
@@ -248,20 +352,29 @@ void Fabric::inject(Frame frame) {
   if (dst_port.endpoint == nullptr) {
     throw std::logic_error("Fabric::inject: destination port not attached");
   }
-  frame.id = next_frame_id_++;
+  // Injection executes on the source host's LP (its edge switch's
+  // engine); the entry-switch hop below is therefore always LP-local.
+  // Frame ids come from the lane's own space — (lane << 40) | local —
+  // which on the single serial lane is the historical 1, 2, 3, ...
+  const std::size_t lane = lane_of_host(frame.src);
+  sim::Engine& eng = host_engine(frame.src);
+  const LaneCounters& ctr = lane_counters_[lane];
+  frame.id = (static_cast<std::uint64_t>(lane) << 40) |
+             lanes_[lane].next_frame_id++;
 
-  eng_.tracer().instant(trace::Category::kNet, frame.src, "net/inject",
-                        eng_.now(),
-                        static_cast<std::int64_t>(frame.wire.count()));
+  eng.tracer().instant(trace::Category::kNet, frame.src, "net/inject",
+                       eng.now(),
+                       static_cast<std::int64_t>(frame.wire.count()));
 
   // Link state gates everything: a downed host port loses frames in
   // either direction at the PHY, before any loss/corruption process sees
-  // them.
+  // them.  (Sharded fabrics reject the fault hooks, so reading the
+  // destination's link_up here never races — it is always true.)
   if (!host_port(frame.src).link_up || !dst_port.link_up) {
-    dropped_.add(eng_.now(), 1);
-    link_dropped_.add(eng_.now(), 1);
-    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
-                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    ctr.dropped->add(eng.now(), 1);
+    ctr.link_dropped->add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
+                         eng.now(), static_cast<std::int64_t>(frame.id));
     return;
   }
 
@@ -270,9 +383,9 @@ void Fabric::inject(Frame frame) {
   // Injected loss models bit errors on the links; the frame vanishes
   // before the switch sees it.
   if (loss_rng_ && loss_rng_->chance(loss_probability_)) {
-    dropped_.add(eng_.now(), 1);
-    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/loss",
-                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    ctr.dropped->add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kNet, frame.dst, "net/loss",
+                         eng.now(), static_cast<std::int64_t>(frame.id));
     return;
   }
 
@@ -280,10 +393,10 @@ void Fabric::inject(Frame frame) {
   // frame, so burst structure is independent of which frames uniform
   // loss already removed.
   if (burst_loss_ && burst_loss_->lose_frame()) {
-    dropped_.add(eng_.now(), 1);
-    burst_dropped_.add(eng_.now(), 1);
-    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/burst_loss",
-                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    ctr.dropped->add(eng.now(), 1);
+    ctr.burst_dropped->add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kNet, frame.dst, "net/burst_loss",
+                         eng.now(), static_cast<std::int64_t>(frame.id));
     return;
   }
 
@@ -292,38 +405,46 @@ void Fabric::inject(Frame frame) {
   // cost structure that distinguishes it from silent loss.
   if (corruption_rng_ && corruption_rng_->chance(corruption_probability_)) {
     frame.corrupted = true;
-    corrupted_.add(eng_.now(), 1);
-    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/corrupt",
-                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    ctr.corrupted->add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kNet, frame.dst, "net/corrupt",
+                         eng.now(), static_cast<std::int64_t>(frame.id));
   }
 
   const int entry = plan_.hosts[static_cast<std::size_t>(frame.src)].sw;
-  eng_.schedule(cfg_.link_latency + cfg_.switch_latency,
-                [this, frame, entry] { forward_at(entry, frame); });
+  eng.schedule(cfg_.link_latency + cfg_.switch_latency,
+               [this, frame, entry] { forward_at(entry, frame); });
 }
 
 void Fabric::forward_at(int sw, Frame frame) {
   Switch& node = *switches_[static_cast<std::size_t>(sw)];
   const std::size_t out = live_port_to(sw, frame.dst);
   Switch::OutPort& port = node.out(out);
+  // Everything below runs on (and touches only) this switch's LP: its
+  // engine drives the trace lane, its counters take the tallies, its
+  // ports are single-writer.  A hop whose peer switch lives on another
+  // LP leaves through post() at the link+switch latency — never less
+  // than the partition's lookahead.
+  const std::size_t lane = lane_of_switch(sw);
+  sim::Engine& eng = switch_engine(sw);
+  const LaneCounters& ctr = lane_counters_[lane];
 
   // Interior link state is checked here, at forwarding time, because a
   // frame already in flight when a backbone link fails is lost at the
   // failed hop — not retroactively at injection.
   if (port.peer_switch >= 0 && !port.link_up) {
     ++port.drops_link;
-    dropped_.add(eng_.now(), 1);
-    link_dropped_.add(eng_.now(), 1);
-    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
-                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    ctr.dropped->add(eng.now(), 1);
+    ctr.link_dropped->add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kNet, frame.dst, "net/link_drop",
+                         eng.now(), static_cast<std::int64_t>(frame.id));
     note_interior_drop(sw, port.peer_switch);
     return;
   }
 
   if (!node.admit(out, frame.wire)) {
-    dropped_.add(eng_.now(), 1);
-    eng_.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
-                          eng_.now(), static_cast<std::int64_t>(frame.id));
+    ctr.dropped->add(eng.now(), 1);
+    eng.tracer().instant(trace::Category::kNet, frame.dst, "net/drop",
+                         eng.now(), static_cast<std::int64_t>(frame.id));
     // Deliberately NOT note_interior_drop(): a drop-tail overflow is a
     // congestion signal on a live link, never link-health evidence.
     // Only dark-link losses (above) and heartbeat probes may declare
@@ -331,40 +452,51 @@ void Fabric::forward_at(int sw, Frame frame) {
     // (tests/routing_test.cpp IncastStorm*).
     return;  // drop-tail: the whole burst is lost
   }
-  if (port.buffered > peak_occupancy_) peak_occupancy_ = port.buffered;
+  if (port.buffered > lanes_[lane].peak_occupancy) {
+    lanes_[lane].peak_occupancy = port.buffered;
+  }
 
   // Egress serialization at the port's line rate, FCFS with other
   // buffered frames, then the egress link latency to the next hop or
   // the endpoint.
   const Time serialized_at = port.egress->enqueue(frame.wire);
-  eng_.tracer().span(trace::Category::kNet, frame.dst, "net/egress",
-                     eng_.now(), serialized_at - eng_.now(),
-                     static_cast<std::int64_t>(frame.wire.count()));
-  eng_.schedule_at(serialized_at, [this, frame, sw, out] {
+  eng.tracer().span(trace::Category::kNet, frame.dst, "net/egress",
+                    eng.now(), serialized_at - eng.now(),
+                    static_cast<std::int64_t>(frame.wire.count()));
+  eng.schedule_at(serialized_at, [this, frame, sw, out] {
     Switch& node = *switches_[static_cast<std::size_t>(sw)];
     Switch::OutPort& port = node.out(out);
+    const std::size_t lane = lane_of_switch(sw);
+    sim::Engine& eng = switch_engine(sw);
+    const LaneCounters& ctr = lane_counters_[lane];
     node.release(out, frame.wire);
     if (port.peer_switch >= 0) {
       ++port.frames_out;
       port.bytes_out += frame.wire;
-      port.congestion->add(eng_.now(), 1);
+      port.congestion->add(eng.now(), 1);
       const int next = port.peer_switch;
       note_interior_success(sw, next);
-      eng_.schedule(cfg_.link_latency + cfg_.switch_latency,
-                    [this, frame, next] { forward_at(next, frame); });
+      const Time hop = cfg_.link_latency + cfg_.switch_latency;
+      const std::size_t next_lane = lane_of_switch(next);
+      if (pe_ != nullptr && next_lane != lane) {
+        pe_->post(lane, next_lane, hop,
+                  [this, frame, next] { forward_at(next, frame); });
+      } else {
+        eng.schedule(hop, [this, frame, next] { forward_at(next, frame); });
+      }
       return;
     }
     ++port.frames_out;
     port.bytes_out += frame.wire;
-    forwarded_.add(eng_.now(), 1);
+    ctr.forwarded->add(eng.now(), 1);
     // Accounting fix: only clean deliveries count as forwarded bytes;
     // corrupted frames crossed the fabric but the endpoint discards
     // them, so their bytes land in a separate tally.
-    (frame.corrupted ? corrupted_bytes_ : bytes_forwarded_)
-        .add(eng_.now(), frame.wire.count());
+    (frame.corrupted ? *ctr.corrupted_bytes : *ctr.bytes_forwarded)
+        .add(eng.now(), frame.wire.count());
     Endpoint* endpoint = port.endpoint;
-    eng_.schedule(cfg_.link_latency,
-                  [frame, endpoint] { endpoint->deliver(frame); });
+    eng.schedule(cfg_.link_latency,
+                 [frame, endpoint] { endpoint->deliver(frame); });
   });
 }
 

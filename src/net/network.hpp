@@ -38,10 +38,15 @@
 #include "common/units.hpp"
 #include "fault/gilbert_elliott.hpp"
 #include "net/frame.hpp"
+#include "net/lp_map.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "trace/counters.hpp"
+
+namespace acc::sim {
+class ParallelEngine;  // sim/parallel.hpp
+}
 
 namespace acc::net {
 
@@ -166,6 +171,20 @@ class Fabric {
  public:
   Fabric(sim::Engine& eng, std::size_t ports, const NetworkConfig& cfg = {});
 
+  /// LP-sharded fabric (docs/ENGINE.md ownership rules): every switch's
+  /// mutable state — ports, buffers, egress serializers, per-lane
+  /// counters — lives on its own LP from `part` and is touched only by
+  /// events executing on that LP's shard engine; an interior hop whose
+  /// peer lives on another LP crosses via `pe.post()` at the link+switch
+  /// latency (>= the partition's lookahead by construction).  Host-facing
+  /// work (inject, delivery) runs on the host's edge-switch LP.  Both
+  /// `pe` and `part` must outlive the fabric.  Fault hooks and adaptive
+  /// routing mutate state across LPs and are rejected in this mode
+  /// (std::logic_error / std::invalid_argument) — callers needing them
+  /// run the serial facade.
+  Fabric(sim::ParallelEngine& pe, const LpPartition& part, std::size_t ports,
+         const NetworkConfig& cfg);
+
   /// Attaches the device that receives frames destined to `node`.
   void attach(int node, Endpoint& endpoint);
 
@@ -248,21 +267,24 @@ class Fabric {
   bool request_reroute(int src, int dst);
 
   // Fabric statistics are trace counters: the report reads the same
-  // instrumentation the trace timeline records.
-  std::uint64_t frames_forwarded() const { return forwarded_.value(); }
-  std::uint64_t frames_dropped() const { return dropped_.value(); }
-  std::uint64_t frames_dropped_link_down() const { return link_dropped_.value(); }
-  std::uint64_t frames_dropped_burst() const { return burst_dropped_.value(); }
-  std::uint64_t frames_corrupted() const { return corrupted_.value(); }
+  // instrumentation the trace timeline records.  In sharded mode each LP
+  // accumulates into its own lane's counters (single writer) and these
+  // accessors sum the lanes — a deterministic merge, because every
+  // lane's total is itself thread-count independent.
+  std::uint64_t frames_forwarded() const;
+  std::uint64_t frames_dropped() const;
+  std::uint64_t frames_dropped_link_down() const;
+  std::uint64_t frames_dropped_burst() const;
+  std::uint64_t frames_corrupted() const;
   /// Bytes of *clean* frames delivered to endpoints.  Corrupted frames'
   /// bytes are tallied separately (they cross the fabric but the
   /// endpoint discards them), and dropped bursts never count.
-  Bytes bytes_forwarded() const { return Bytes(bytes_forwarded_.value()); }
-  Bytes bytes_corrupted() const { return Bytes(corrupted_bytes_.value()); }
+  Bytes bytes_forwarded() const;
+  Bytes bytes_corrupted() const;
 
   /// Peak output-buffer occupancy seen on any port of any switch — used
   /// by tests of the paper's "fits in network buffers" claim.
-  Bytes peak_buffer_occupancy() const { return peak_occupancy_; }
+  Bytes peak_buffer_occupancy() const;
   /// Peak occupancy of one host's final egress port.
   Bytes peak_buffer_occupancy(int node) const {
     return host_port(node).peak;
@@ -343,7 +365,54 @@ class Fabric {
   /// unaffected; admission uses the new capacity.
   void set_port_buffer_factor(int node, double factor);
 
+  /// True when the fabric runs LP-sharded (the second constructor).
+  bool sharded() const { return pe_ != nullptr; }
+
  private:
+  /// Per-LP fabric statistics: one lane of counters per LP, written only
+  /// by that LP's worker; the public accessors sum the lanes.  Serial
+  /// fabrics have exactly one lane on the main engine, so every add()
+  /// lands on the very counters (same engine, same names) it always did.
+  struct LaneCounters {
+    trace::Counter* forwarded = nullptr;
+    trace::Counter* dropped = nullptr;
+    trace::Counter* bytes_forwarded = nullptr;
+    trace::Counter* link_dropped = nullptr;
+    trace::Counter* burst_dropped = nullptr;
+    trace::Counter* corrupted = nullptr;
+    trace::Counter* corrupted_bytes = nullptr;
+  };
+  /// Per-LP mutable scalars, cache-line isolated (distinct LPs write
+  /// their own lane concurrently).  Frame ids are per-LP spaces: the id
+  /// is (lane << 40) | local, which for the single serial lane reduces to
+  /// the historical 1, 2, 3, ... sequence bit-for-bit.
+  struct alignas(64) LaneState {
+    std::uint64_t next_frame_id = 1;
+    Bytes peak_occupancy = Bytes::zero();
+  };
+
+  Fabric(sim::Engine& eng, sim::ParallelEngine* pe, const LpPartition* part,
+         std::size_t ports, const NetworkConfig& cfg);
+
+  std::size_t lane_of_switch(int sw) const {
+    return part_ == nullptr
+               ? 0
+               : part_->lp_of_switch[static_cast<std::size_t>(sw)];
+  }
+  std::size_t lane_of_host(int host) const {
+    return part_ == nullptr
+               ? 0
+               : part_->lp_of_host[static_cast<std::size_t>(host)];
+  }
+  /// The engine owning switch `sw` (eng_ when serial).
+  sim::Engine& switch_engine(int sw);
+  /// The engine owning host `h`'s device-side events (its edge switch's).
+  sim::Engine& host_engine(int host);
+  /// Throws std::logic_error when sharded: fault hooks mutate port state
+  /// owned by other LPs with no delay, which the conservative windows
+  /// cannot order.
+  void require_unsharded(const char* what) const;
+
   /// Health the routing plane tracks per undirected interior link,
   /// keyed by the normalized (min, max) switch pair.
   struct LinkHealth {
@@ -384,6 +453,8 @@ class Fabric {
   }
 
   sim::Engine& eng_;
+  sim::ParallelEngine* pe_ = nullptr;   // non-null in sharded mode
+  const LpPartition* part_ = nullptr;   // non-null in sharded mode
   NetworkConfig cfg_;
   TopologyPlan plan_;
   std::vector<std::unique_ptr<Switch>> switches_;
@@ -400,15 +471,8 @@ class Fabric {
   std::unique_ptr<fault::GilbertElliott> burst_loss_;
   double corruption_probability_ = 0.0;
   std::unique_ptr<Rng> corruption_rng_;
-  trace::Counter& forwarded_;
-  trace::Counter& dropped_;
-  trace::Counter& bytes_forwarded_;
-  trace::Counter& link_dropped_;
-  trace::Counter& burst_dropped_;
-  trace::Counter& corrupted_;
-  trace::Counter& corrupted_bytes_;
-  std::uint64_t next_frame_id_ = 1;
-  Bytes peak_occupancy_ = Bytes::zero();
+  std::vector<LaneCounters> lane_counters_;  // one per LP (1 when serial)
+  std::vector<LaneState> lanes_;             // one per LP (1 when serial)
 };
 
 /// The flat star network the rest of the tree grew up with is now the

@@ -832,7 +832,111 @@ RunMetrics engine_scaling_metrics(const std::string& label,
   return m;
 }
 
+
+// ---------------------------------------------------------------------
+// SimCluster engine scaling: device models on per-switch LPs
+// ---------------------------------------------------------------------
+
+sim::Process cluster_scaling_sender(apps::SimCluster& cluster, int src,
+                                    int dst, int rounds, Bytes size) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await cluster.transfer(src, dst, size, static_cast<std::uint64_t>(r));
+  }
+}
+
+sim::Process cluster_scaling_receiver(apps::SimCluster& cluster, int node,
+                                      int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    (void)co_await cluster.inbox(static_cast<std::size_t>(node)).recv();
+  }
+}
+
+/// Memoized 1-thread wall-clock baseline for the SimCluster scaling
+/// points, same contract as scaling_baseline_wall_ns above.
+std::uint64_t cluster_scaling_baseline_wall_ns(std::size_t hosts) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::uint64_t> memo;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = memo.find(hosts);
+  if (it != memo.end()) return it->second;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)run_cluster_scaling_point(hosts, /*threads=*/1);
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  const std::uint64_t ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  memo.emplace(hosts, ns);
+  return ns;
+}
+
+RunMetrics cluster_scaling_metrics(std::size_t hosts, std::size_t threads) {
+  const std::uint64_t base_ns = cluster_scaling_baseline_wall_ns(hosts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ClusterScalingRun r = run_cluster_scaling_point(hosts, threads);
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  RunMetrics m;
+  m.sim_time = r.sim_time;
+  m.digest = r.digest;
+  m.trace_records = r.trace_records;
+  m.events = r.events;
+  m.threads = threads;
+  m.shards = r.shards;
+  if (threads > 1 && wall_ns > 0 && base_ns > 0) {
+    m.speedup = static_cast<double>(base_ns) / static_cast<double>(wall_ns);
+    m.scaling_efficiency = m.speedup / static_cast<double>(threads);
+  }
+  m.counters = {
+      {"lp_count", static_cast<std::int64_t>(r.lp_count)},
+      {"windows", static_cast<std::int64_t>(r.windows)},
+      {"cross_posts", static_cast<std::int64_t>(r.cross_posts)},
+  };
+  return m;
+}
+
 }  // namespace
+
+
+ClusterScalingRun run_cluster_scaling_point(std::size_t hosts,
+                                            std::size_t threads) {
+  apps::ClusterOptions copts;
+  copts.topology = net::TopologyConfig::fat_tree(3);
+  copts.engine_threads = threads;
+  apps::SimCluster cluster(hosts, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), copts);
+  cluster.enable_tracing(/*ring_capacity=*/64);
+  sim::ProcessGroup group =
+      cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                         : sim::ProcessGroup(cluster.engine());
+  constexpr int kRounds = 4;
+  const Bytes kSize = Bytes::kib(64);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    const int src = static_cast<int>(i);
+    const int dst = static_cast<int>((i + 1) % hosts);
+    group.spawn_on(cluster.node_lp(i),
+                   cluster_scaling_sender(cluster, src, dst, kRounds, kSize));
+    group.spawn_on(cluster.node_lp(static_cast<std::size_t>(dst)),
+                   cluster_scaling_receiver(cluster, dst, kRounds));
+  }
+  ClusterScalingRun out;
+  out.sim_time = cluster.run();
+  group.join();
+  out.digest = cluster.digest();
+  out.trace_records = cluster.trace_records();
+  out.events = cluster.events_executed();
+  if (const net::LpPartition* part = cluster.partition()) {
+    out.lp_count = part->lp_count;
+  }
+  if (sim::ParallelEngine* pe = cluster.parallel()) {
+    out.windows = pe->windows();
+    out.cross_posts = pe->cross_posts();
+    out.shards.reserve(pe->shard_stats().size());
+    for (const auto& sh : pe->shard_stats()) {
+      out.shards.push_back(ShardSummary{sh.events, sh.wall_ns});
+    }
+  }
+  return out;
+}
 
 net::LpWorkloadConfig engine_scaling_floor_config() {
   // k = 16 fat tree: 1024 hosts over 320 switch LPs, with per-hop work
@@ -889,6 +993,27 @@ std::vector<RunPoint> engine_scaling_points(bool reduced) {
             return engine_scaling_metrics(label, cfg, threads);
           }});
     }
+  }
+  // SimCluster points: the full device models (cards, DMA, switch
+  // FIFOs) sharded across per-switch LPs — the migration the synthetic
+  // LP workload above cannot see.  The full grid's 1024-host point is
+  // the shape bench/engine_scaling --check-floor re-measures.  Host
+  // counts must be k^3/4 for an even k (fat_tree(3)): 16 reduced,
+  // 1024 full.
+  const std::size_t cluster_hosts =
+      reduced ? std::size_t{16} : kClusterScalingFloorHosts;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    points.push_back(RunPoint{
+        "engine_scaling",
+        "cluster_fattree3/P=" + num(cluster_hosts) +
+            "/threads=" + num(threads),
+        {{"topology", "cluster_fattree3"},
+         {"P", num(cluster_hosts)},
+         {"threads", num(threads)}},
+        [cluster_hosts, threads] {
+          return cluster_scaling_metrics(cluster_hosts, threads);
+        }});
   }
   return points;
 }

@@ -101,4 +101,28 @@ std::vector<RunPoint> engine_scaling_points(bool reduced);
 /// exactly this config, so the gate and the grid cannot drift apart.
 net::LpWorkloadConfig engine_scaling_floor_config();
 
+/// One SimCluster engine-scaling run: a neighbour-ring INIC transfer
+/// workload on a fat-tree cluster with the full device models (cards,
+/// DMA, switch FIFOs) sharded across per-switch LPs when threads >= 2.
+/// Digest semantics follow docs/TRACING.md: threads <= 1 reports the
+/// historical serial digest; any threads >= 2 report one common sharded
+/// digest (per-lane frame ids), so floor checks compare wall clock
+/// 1-vs-4 but digests only among sharded runs.
+struct ClusterScalingRun {
+  Time sim_time = Time::zero();
+  std::uint64_t digest = 0;
+  std::uint64_t trace_records = 0;
+  std::uint64_t events = 0;
+  std::size_t lp_count = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_posts = 0;
+  std::vector<ShardSummary> shards;  // empty for serial runs
+};
+ClusterScalingRun run_cluster_scaling_point(std::size_t hosts,
+                                            std::size_t threads);
+
+/// The SimCluster half of the CI speedup floor: hosts for the pinned
+/// 1024-host fat-tree cluster shape bench/engine_scaling re-measures.
+constexpr std::size_t kClusterScalingFloorHosts = 1024;
+
 }  // namespace acc::runner

@@ -196,9 +196,41 @@ void ParallelEngine::stop_workers() {
 }
 
 Time ParallelEngine::run() {
+  // Watchdog seeding: a budget set on any shard (callers usually only
+  // reach LP 0 through the serial facade) arms every shard that has none
+  // of its own, so a runaway loop trips no matter which LP hosts it.
+  Time budget = Time::zero();
+  for (const Engine* s : shards_) budget = std::max(budget, s->time_budget());
+  if (budget != Time::zero()) {
+    for (Engine* s : shards_) {
+      if (s->time_budget() == Time::zero()) s->set_time_budget(budget);
+    }
+  }
   for (;;) {
+    // Mailboxes count as pending work: post() before the first window (or
+    // an event chain living entirely in cross-LP flight) leaves every heap
+    // empty while entries wait here, so drain BEFORE the emptiness check
+    // or run() would return with work silently dropped.
+    drain_mailboxes();
     const Time t_min = earliest();
     if (t_min == Time::max()) break;  // all heaps empty, mailboxes drained
+    if (budget != Time::zero() && t_min > budget) {
+      // Barrier-side watchdog: an event chain that hops LPs every step
+      // spends its life in mailboxes, so the per-step check inside
+      // run_window() (which requires a non-empty local heap) can never
+      // fire.  The window open time is the authoritative global clock —
+      // judge the budget here.
+      std::uint64_t pending = 0;
+      for (const Engine* s : shards_) pending += s->pending();
+      throw WatchdogTimeout(
+          "ParallelEngine watchdog: sim-time budget of " +
+          std::to_string(budget.as_millis()) +
+          " ms exceeded — the next window would open at t=" +
+          std::to_string(t_min.as_millis()) + " ms with " +
+          std::to_string(pending) + " event(s) still pending across " +
+          std::to_string(shards_.size()) +
+          " LP(s) — the run is not converging");
+    }
     // Single-LP facade: no cross-LP input can ever arrive, so the whole
     // remaining simulation is one safe window.  Multi-LP: the half-open
     // conservative window [t_min, t_min + lookahead).
@@ -212,7 +244,6 @@ Time ParallelEngine::run() {
         std::rethrow_exception(e);
       }
     }
-    drain_mailboxes();
   }
   Time t = Time::zero();
   for (const Engine* s : shards_) t = std::max(t, s->now());

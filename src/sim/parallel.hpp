@@ -100,9 +100,15 @@ class ParallelEngine {
   void post(std::size_t src, std::size_t dst, Time delay, Engine::Callback fn);
 
   /// Runs every shard to global completion (all heaps and mailboxes
-  /// empty).  Returns the maximum shard time.  The first exception that
-  /// escapes any window is rethrown after the barrier, lowest LP first
-  /// (deterministic given a deterministic failure).
+  /// empty).  Work post()ed before run() counts: mailboxes are drained
+  /// ahead of the emptiness check, so a simulation may start entirely
+  /// from cross-LP posts.  Returns the maximum shard time.  The first
+  /// exception that escapes any window is rethrown after the barrier,
+  /// lowest LP first (deterministic given a deterministic failure).
+  /// A sim-time budget (Engine::set_time_budget) set on ANY shard is
+  /// propagated to every shard without one and additionally enforced at
+  /// each window barrier, so the watchdog fires even when the runaway
+  /// chain hops LPs every step and never sits in a local heap.
   Time run();
 
   /// Events executed, summed over shards.

@@ -1,9 +1,46 @@
 #include "sim/process.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
+#include "sim/parallel.hpp"
+
 namespace acc::sim {
+
+ProcessGroup::ProcessGroup(ParallelEngine& pe) : eng_(pe.lp(0)), pe_(&pe) {}
+
+void ProcessGroup::spawn_impl(Engine& on, Process p, std::string name) {
+  processes_.push_back(std::make_unique<Process>(std::move(p)));
+  names_.push_back(std::move(name));
+  finishes_.push_back(std::make_unique<Time>(Time::zero()));
+  Process& proc = *processes_.back();
+  Time* slot = finishes_.back().get();
+  Engine* eng = &on;
+  proc.on_finished([slot, eng] {
+    // Own slot, own LP: no other worker writes here, and join() folds the
+    // slots after the run — never concurrently.
+    if (eng->now() > *slot) *slot = eng->now();
+  });
+  proc.start(on);
+}
+
+void ProcessGroup::spawn(Process p, std::string name) {
+  spawn_impl(eng_, std::move(p), std::move(name));
+}
+
+void ProcessGroup::spawn_on(std::size_t lp, Process p, std::string name) {
+  if (pe_ == nullptr) {
+    if (lp == 0) {
+      spawn_impl(eng_, std::move(p), std::move(name));
+      return;
+    }
+    throw std::logic_error(
+        "ProcessGroup::spawn_on: group is bound to a single Engine; only "
+        "LP 0 exists");
+  }
+  spawn_impl(pe_->lp(lp), std::move(p), std::move(name));
+}
 
 std::string ProcessGroup::stuck_report() const {
   std::string report;
@@ -22,7 +59,11 @@ std::string ProcessGroup::stuck_report() const {
 
 Time ProcessGroup::join() {
   try {
-    eng_.run();
+    if (pe_ != nullptr) {
+      pe_->run();
+    } else {
+      eng_.run();
+    }
   } catch (const WatchdogTimeout& e) {
     // Re-raise with the stuck-process report attached: the watchdog knows
     // the engine state, the group knows which activities never finished.
@@ -41,7 +82,9 @@ Time ProcessGroup::join() {
         "suspended (simulation deadlock); " +
         stuck_report());
   }
-  return last_finish_;
+  Time last = Time::zero();
+  for (const auto& f : finishes_) last = std::max(last, *f);
+  return last;
 }
 
 }  // namespace acc::sim

@@ -207,30 +207,42 @@ class DeadlockError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+class ParallelEngine;  // sim/parallel.hpp
+
 /// A group of root processes run to completion together.  Keeps the
 /// Process wrappers (and thus the coroutine frames) alive for the duration
 /// of the run; join() rethrows the first failure.
+///
+/// Two driving modes: bound to one Engine (the classic serial path), or
+/// bound to a ParallelEngine — spawn_on() then places each process on its
+/// owning LP's shard engine and join() drives the windowed scheduler.
+/// Every process records its finish time in its OWN slot (written only by
+/// the worker running that process's LP), so join()'s max-fold is
+/// thread-safe and worker-count independent.
 class ProcessGroup {
  public:
   explicit ProcessGroup(Engine& eng) : eng_(eng) {}
 
-  /// Spawns a detached root process.  `name` (optional) identifies the
-  /// process in watchdog/deadlock diagnostics; unnamed processes are
-  /// reported by their spawn index.
-  void spawn(Process p, std::string name = {}) {
-    processes_.push_back(std::make_unique<Process>(std::move(p)));
-    names_.push_back(std::move(name));
-    Process& proc = *processes_.back();
-    proc.on_finished([this] {
-      if (eng_.now() > last_finish_) last_finish_ = eng_.now();
-    });
-    proc.start(eng_);
-  }
+  /// Parallel mode: processes spawn onto LP shard engines (spawn() with
+  /// no LP goes to LP 0) and join() drives `pe.run()` to completion.
+  explicit ProcessGroup(ParallelEngine& pe);
 
-  /// Runs the engine until all events drain, then verifies every process
-  /// finished.  A process still pending throws DeadlockError naming the
-  /// stuck processes; an engine watchdog trip rethrows WatchdogTimeout
-  /// with the same stuck-process report appended.
+  /// Spawns a detached root process on the group's engine (LP 0 in
+  /// parallel mode).  `name` (optional) identifies the process in
+  /// watchdog/deadlock diagnostics; unnamed processes are reported by
+  /// their spawn index.
+  void spawn(Process p, std::string name = {});
+
+  /// Parallel mode only: spawns a detached root process on LP `lp`'s
+  /// shard engine.  The process must confine itself to that LP's state
+  /// (docs/ENGINE.md ownership rules).
+  void spawn_on(std::size_t lp, Process p, std::string name = {});
+
+  /// Runs the engine (or the parallel scheduler) until all events drain,
+  /// then verifies every process finished.  A process still pending
+  /// throws DeadlockError naming the stuck processes; an engine watchdog
+  /// trip rethrows WatchdogTimeout with the same stuck-process report
+  /// appended.
   ///
   /// Returns the time the LAST PROCESS finished — not the time the event
   /// queue emptied.  The two differ when defensive timers (e.g. TCP
@@ -245,10 +257,16 @@ class ProcessGroup {
   std::string stuck_report() const;
 
  private:
+  void spawn_impl(Engine& on, Process p, std::string name);
+
   Engine& eng_;
-  Time last_finish_ = Time::zero();
+  ParallelEngine* pe_ = nullptr;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::string> names_;
+  /// Per-process finish times; each slot is written only by the worker
+  /// executing that process's LP (stable address: one heap cell per
+  /// process, like the Process wrappers themselves).
+  std::vector<std::unique_ptr<Time>> finishes_;
 };
 
 }  // namespace acc::sim

@@ -1,16 +1,18 @@
-// Thread-count independence of full runs (docs/TRACING.md: same seed ⇒
-// same digest for ANY worker count), on both halves of the parallel
-// engine story:
+// Thread-count independence of full runs (docs/TRACING.md), on both
+// halves of the parallel engine story:
 //
 //   * the LP-partitioned fabric workload (net/lp_workload.hpp) — real
-//     multi-LP window execution over every topology family, and
-//   * the SimCluster facade (ClusterOptions::engine_threads) — the
-//     cluster's engine as LP 0 of the window scheduler, which must stay
-//     bit-identical to the classic serial dispatch loop.
+//     multi-LP window execution over every topology family, digest
+//     bit-identical for ANY worker count including 1, and
+//   * sharded SimCluster runs (ClusterOptions::engine_threads >= 2) —
+//     the full device models on per-switch LPs, digest bit-identical
+//     across every sharded thread count, and serial-vs-sharded
+//     equivalence on end time + merged counter totals (the sharded
+//     digest is a different constant by design: per-lane frame ids).
 //
 // CI additionally runs this binary under ThreadSanitizer, so the
 // 1024-host fat-tree stress point doubles as the data-race probe for
-// the worker pool and mailbox machinery.
+// the worker pool, mailbox machinery, and migrated device models.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -19,9 +21,11 @@
 #include "apps/cluster.hpp"
 #include "common/units.hpp"
 #include "model/calibration.hpp"
+#include "apps/kv_app.hpp"
 #include "net/lp_workload.hpp"
 #include "net/topology.hpp"
 #include "sim/process.hpp"
+#include "trace/counters.hpp"
 
 namespace acc {
 namespace {
@@ -115,8 +119,17 @@ TEST(ParallelScaling, FatTree1024StressPoint) {
 }
 
 // ---------------------------------------------------------------------
-// SimCluster facade: engine_threads must never change a run
+// SimCluster device models on LPs: digest/counter contract
 // ---------------------------------------------------------------------
+//
+// Digest semantics (docs/TRACING.md): engine_threads <= 1 is the
+// historical serial dispatch — its digest is the golden-pinned value.
+// engine_threads >= 2 shards the device models across per-switch LPs
+// with per-lane frame ids, so the combined digest is a DIFFERENT
+// constant — but the same one for every thread count >= 2, and the
+// merged counter totals and end time must equal the serial run exactly.
+// On a single-switch star the sharded path degenerates to the serial
+// facade, so there the digest matches serial for every thread count.
 
 std::vector<TopoCase> cluster_topologies() {
   return {
@@ -133,51 +146,136 @@ struct ClusterRun {
   std::uint64_t records = 0;
   std::uint64_t events = 0;
   Time end = Time::zero();
+  std::vector<trace::CounterSample> counters;
+  bool sharded = false;
 };
 
-/// A neighbour-ring transfer workload driven through SimCluster::run()
-/// (not ProcessGroup::join(), so the engine_threads dispatch path is the
-/// one under test).
+/// A neighbour-ring transfer workload with every rank coroutine spawned
+/// on its node's LP; SimCluster::run() drives the engine_threads
+/// dispatch path under test.
 ClusterRun cluster_run(const TopoCase& tc, std::size_t threads) {
   apps::ClusterOptions copts;
   copts.topology = tc.config;
   copts.engine_threads = threads;
   apps::SimCluster cluster(tc.hosts, apps::Interconnect::kInicIdeal,
                            model::default_calibration(), copts);
-  cluster.tracer().enable(/*ring_capacity=*/64);
-  sim::ProcessGroup group(cluster.engine());
+  cluster.enable_tracing(/*ring_capacity=*/64);
+  sim::ProcessGroup group =
+      cluster.parallel() ? sim::ProcessGroup(*cluster.parallel())
+                         : sim::ProcessGroup(cluster.engine());
   for (std::size_t i = 0; i < tc.hosts; ++i) {
     const int src = static_cast<int>(i);
     const int dst = static_cast<int>((i + 1) % tc.hosts);
-    group.spawn(cluster.transfer(src, dst, Bytes::kib(4), i));
-    group.spawn([](apps::SimCluster& c, int node) -> sim::Process {
-      (void)co_await c.inbox(static_cast<std::size_t>(node)).recv();
-    }(cluster, dst));
+    group.spawn_on(cluster.node_lp(i),
+                   cluster.transfer(src, dst, Bytes::kib(4), i));
+    group.spawn_on(cluster.node_lp(static_cast<std::size_t>(dst)),
+                   [](apps::SimCluster& c, int node) -> sim::Process {
+                     (void)co_await c.inbox(static_cast<std::size_t>(node))
+                         .recv();
+                   }(cluster, dst));
   }
   ClusterRun out;
   out.end = cluster.run();
   group.join();  // queue already drained; verifies nothing is stuck
-  out.digest = cluster.tracer().digest();
-  out.records = cluster.tracer().records_emitted();
-  out.events = cluster.engine().events_executed();
+  out.digest = cluster.digest();
+  out.records = cluster.trace_records();
+  out.events = cluster.events_executed();
+  out.counters = cluster.counters_snapshot();
+  out.sharded = cluster.sharded();
   return out;
 }
 
-TEST(ParallelScaling, ClusterDigestIndependentOfEngineThreadsEverywhere) {
+/// Open-loop KV serving on the same cluster shape; returns the merged
+/// run telemetry plus the KV result's own verification flag.
+ClusterRun cluster_kv_run(const TopoCase& tc, std::size_t threads,
+                          bool* verified) {
+  apps::ClusterOptions copts;
+  copts.topology = tc.config;
+  copts.engine_threads = threads;
+  apps::SimCluster cluster(tc.hosts, apps::Interconnect::kInicIdeal,
+                           model::default_calibration(), copts);
+  cluster.enable_tracing(/*ring_capacity=*/64);
+  apps::KvRunOptions kv;
+  kv.clients = tc.hosts / 2;
+  kv.servers = tc.hosts / 2;
+  kv.requests_per_client = 12;
+  kv.rate_hz = 50000.0;
+  const apps::KvRunResult r = apps::run_kv_serving(cluster, kv);
+  if (verified != nullptr) *verified = r.verified;
+  ClusterRun out;
+  out.end = r.total;
+  out.digest = cluster.digest();
+  out.records = cluster.trace_records();
+  out.events = cluster.events_executed();
+  out.counters = cluster.counters_snapshot();
+  out.sharded = cluster.sharded();
+  return out;
+}
+
+void expect_same_run(const ClusterRun& run, const ClusterRun& ref,
+                     const char* label, std::size_t threads) {
+  EXPECT_EQ(run.digest, ref.digest)
+      << label << " digest diverged at engine_threads=" << threads;
+  EXPECT_EQ(run.records, ref.records) << label << " t=" << threads;
+  EXPECT_EQ(run.events, ref.events) << label << " t=" << threads;
+  EXPECT_EQ(run.end, ref.end) << label << " t=" << threads;
+}
+
+/// Serial-vs-sharded equivalence: the merged per-LP counter totals must
+/// equal the serial registry exactly, key by key.
+void expect_same_counters(const std::vector<trace::CounterSample>& run,
+                          const std::vector<trace::CounterSample>& ref,
+                          const char* label, std::size_t threads) {
+  ASSERT_EQ(run.size(), ref.size()) << label << " t=" << threads;
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    EXPECT_EQ(run[i].category, ref[i].category) << label << " t=" << threads;
+    EXPECT_EQ(run[i].node, ref[i].node) << label << " t=" << threads;
+    EXPECT_EQ(run[i].name, ref[i].name) << label << " t=" << threads;
+    EXPECT_EQ(run[i].value, ref[i].value)
+        << label << " t=" << threads << " counter " << run[i].name << "/"
+        << run[i].node;
+  }
+}
+
+TEST(ParallelScaling, ClusterDigestIndependentOfShardedThreadCount) {
   for (const TopoCase& tc : cluster_topologies()) {
-    const ClusterRun ref = cluster_run(tc, /*threads=*/1);
-    EXPECT_GT(ref.events, 0u) << tc.label;
+    const ClusterRun serial = cluster_run(tc, /*threads=*/1);
+    EXPECT_GT(serial.events, 0u) << tc.label;
+    EXPECT_FALSE(serial.sharded) << tc.label;
 #ifndef ACC_TRACE_DISABLED
-    EXPECT_GT(ref.records, 0u) << tc.label;
+    EXPECT_GT(serial.records, 0u) << tc.label;
 #endif
-    for (std::size_t threads : {std::size_t{2}, std::size_t{4},
-                                std::size_t{8}}) {
+    const ClusterRun sharded = cluster_run(tc, /*threads=*/2);
+    // End time and merged counters match serial on every family; the
+    // digest additionally matches when the plan stays single-LP (star).
+    EXPECT_EQ(sharded.end, serial.end) << tc.label;
+    expect_same_counters(sharded.counters, serial.counters, tc.label, 2);
+    if (!sharded.sharded) {
+      expect_same_run(sharded, serial, tc.label, 2);
+    }
+    for (std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
       const ClusterRun run = cluster_run(tc, threads);
-      EXPECT_EQ(run.digest, ref.digest)
-          << tc.label << " digest diverged at engine_threads=" << threads;
-      EXPECT_EQ(run.records, ref.records) << tc.label << " t=" << threads;
-      EXPECT_EQ(run.events, ref.events) << tc.label << " t=" << threads;
-      EXPECT_EQ(run.end, ref.end) << tc.label << " t=" << threads;
+      expect_same_run(run, sharded, tc.label, threads);
+      expect_same_counters(run.counters, serial.counters, tc.label, threads);
+    }
+  }
+}
+
+TEST(ParallelScaling, ClusterKvServingMatchesSerialOnEveryFamily) {
+  for (const TopoCase& tc : cluster_topologies()) {
+    bool ref_verified = false;
+    const ClusterRun serial = cluster_kv_run(tc, /*threads=*/1,
+                                             &ref_verified);
+    EXPECT_TRUE(ref_verified) << tc.label;
+    const ClusterRun sharded = cluster_kv_run(tc, /*threads=*/2, nullptr);
+    EXPECT_EQ(sharded.end, serial.end) << tc.label;
+    expect_same_counters(sharded.counters, serial.counters, tc.label, 2);
+    for (std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+      bool run_verified = false;
+      const ClusterRun run = cluster_kv_run(tc, threads, &run_verified);
+      EXPECT_TRUE(run_verified) << tc.label << " t=" << threads;
+      expect_same_run(run, sharded, tc.label, threads);
+      expect_same_counters(run.counters, serial.counters, tc.label, threads);
     }
   }
 }

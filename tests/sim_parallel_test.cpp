@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -17,6 +19,7 @@
 #include "common/units.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
+#include "sim/process.hpp"
 #include "trace/trace.hpp"
 
 namespace acc {
@@ -279,6 +282,121 @@ TEST(ParallelEngine, StatsAccountEveryShardEvent) {
     total += s.events;
   }
   EXPECT_EQ(total, peng.events_executed());
+}
+
+
+// ---------------------------------------------------------------------
+// Pre-run posts: mailboxes count as pending work
+// ---------------------------------------------------------------------
+
+TEST(ParallelEngine, PreRunPostIsNotDroppedWhenQueuesStartEmpty) {
+  // Regression: work posted before the first window lives only in a
+  // mailbox.  run() used to test the shard queues for emptiness before
+  // draining, see nothing, and return at t=0 with the post still boxed.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    ParallelEngine peng(2, config(threads, Time::micros(1)));
+    bool ran = false;
+    peng.post(0, 1, Time::micros(1), [&ran] { ran = true; });
+    const Time end = peng.run();
+    EXPECT_TRUE(ran) << "threads=" << threads;
+    EXPECT_EQ(peng.events_executed(), 1u);
+    EXPECT_EQ(end, Time::micros(1));
+  }
+}
+
+TEST(ParallelEngine, PreRunPostsChainAndKeepCanonicalOrder) {
+  // Property shape: N pre-run posts fanned across LPs, each chaining one
+  // more cross-LP hop at execution time.  Every hop must run, and the
+  // destination-side order must match the serial reference exactly.
+  std::vector<std::vector<int>> logs_by_threads;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    ParallelEngine peng(4, config(threads, Time::nanos(100)));
+    // Only LP0 callbacks write the log (single-writer discipline).
+    std::vector<int> log;
+    ParallelEngine* pp = &peng;
+    std::vector<int>* out = &log;
+    for (int k = 0; k < 16; ++k) {
+      const std::size_t src = static_cast<std::size_t>(k) % 4;
+      if (src == 0) {
+        // Same-LP pre-run post: direct schedule path.
+        peng.post(0, 0, Time::nanos(100 + k), [out, k] {
+          out->push_back(k);
+        });
+        continue;
+      }
+      peng.post(src, 0, Time::nanos(100 + k), [pp, out, src, k] {
+        // The hop itself was boxed pre-run; it chains one more.
+        pp->post(src, 0, Time::nanos(100), [out, k] {
+          out->push_back(1000 + k);
+        });
+      });
+    }
+    peng.run();
+    EXPECT_EQ(log.size(), 16u) << "threads=" << threads;
+    logs_by_threads.push_back(std::move(log));
+  }
+  ASSERT_EQ(logs_by_threads.size(), 3u);
+  EXPECT_EQ(logs_by_threads[1], logs_by_threads[0]);
+  EXPECT_EQ(logs_by_threads[2], logs_by_threads[0]);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog under windowed execution
+// ---------------------------------------------------------------------
+
+TEST(ParallelEngine, WatchdogBudgetSeedsEveryShard) {
+  // The budget is set on LP0 only, but the runaway chain ping-pongs
+  // between the LPs — at any instant the next event may live on a shard
+  // whose own budget was never set, or purely in a mailbox.  run() must
+  // still stop the run instead of spinning windows forever.
+  ParallelEngine peng(2, config(2, Time::micros(1)));
+  peng.lp(0).set_time_budget(Time::micros(200));
+  auto hop = std::make_shared<std::function<void(std::size_t)>>();
+  ParallelEngine* pp = &peng;
+  *hop = [pp, hop](std::size_t at) {
+    const std::size_t next = 1 - at;
+    pp->post(at, next, Time::micros(1), [hop, next] { (*hop)(next); });
+  };
+  peng.lp(0).schedule_at(Time::zero(), [hop] { (*hop)(0); });
+  EXPECT_THROW(peng.run(), sim::WatchdogTimeout);
+}
+
+TEST(ParallelEngine, WatchdogFiresAtTheBarrierWhenWorkIsBeyondBudget) {
+  // A single pre-run post far past the budget: no shard ever executes an
+  // event, so only the barrier-side check can report the stall.
+  ParallelEngine peng(2, config(2, Time::micros(1)));
+  peng.lp(1).set_time_budget(Time::micros(10));
+  peng.post(0, 1, Time::millis(5), [] {});
+  try {
+    peng.run();
+    FAIL() << "expected the sim-time budget to stop the run";
+  } catch (const sim::WatchdogTimeout& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("pending"), std::string::npos) << what;
+  }
+}
+
+sim::Process forever_delay(Engine& eng) {
+  for (;;) co_await sim::Delay{eng, Time::micros(5)};
+}
+
+TEST(ParallelEngine, JoinAppendsStuckReportOnParallelWatchdog) {
+  // The ProcessGroup watchdog contract under the parallel scheduler:
+  // when the budget stops the run, join() names the processes that never
+  // finished — same behaviour the serial engine always had.
+  ParallelEngine peng(2, config(2, Time::micros(1)));
+  peng.lp(0).set_time_budget(Time::micros(100));
+  sim::ProcessGroup group(peng);
+  group.spawn_on(1, forever_delay(peng.lp(1)), "spinner");
+  try {
+    group.join();
+    FAIL() << "expected WatchdogTimeout out of join()";
+  } catch (const sim::WatchdogTimeout& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spinner"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

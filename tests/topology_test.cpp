@@ -18,6 +18,7 @@
 #include "collectives/collectives.hpp"
 #include "fault/fault.hpp"
 #include "model/calibration.hpp"
+#include "net/lp_map.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -413,6 +414,73 @@ TEST(Fault, RejectsBadRateFactorsAndNonAdjacentInteriorLinks) {
   fault::FaultPlan on_star;
   on_star.with_interior_link_down(0, 1, Time::millis(1), Time::millis(1));
   EXPECT_THROW(fault::FaultInjector(star, on_star), std::invalid_argument);
+}
+
+
+// ---------------------------------------------------------------------
+// LP partition: per-link latencies and lookahead derivation
+// ---------------------------------------------------------------------
+
+TEST(LpPartition, LookaheadIsTrueMinimumOverMixedLinkLatencies) {
+  const net::TopologyPlan plan =
+      net::build_topology(net::TopologyConfig::fat_tree(2), 16);
+  // Hand every directed interior link its own latency; the partition
+  // must stamp each link with exactly what the callback reported and
+  // derive the lookahead as the true minimum over them — a scalar on
+  // this fabric would overstate it for every link but the slowest.
+  auto latency_of = [](int src_sw, int dst_sw) {
+    return Time::nanos(500 + 7 * src_sw + 13 * dst_sw);
+  };
+  const net::LpPartition part = net::build_lp_partition(plan, latency_of);
+  ASSERT_FALSE(part.cross_links.empty());
+  Time expected_min = Time::max();
+  for (const net::CrossLpLink& link : part.cross_links) {
+    // Identity switch -> LP map: LP ids are switch ids.
+    const Time expect = latency_of(static_cast<int>(link.src_lp),
+                                   static_cast<int>(link.dst_lp));
+    EXPECT_EQ(link.latency, expect);
+    expected_min = std::min(expected_min, expect);
+  }
+  EXPECT_EQ(part.lookahead, expected_min);
+  EXPECT_GT(part.lookahead, Time::zero());
+}
+
+TEST(LpPartition, ScalarOverloadStampsTheUniformLatencyEverywhere) {
+  const net::TopologyPlan plan =
+      net::build_topology(net::TopologyConfig::torus(2), 16);
+  const net::LpPartition part =
+      net::build_lp_partition(plan, Time::micros(2));
+  ASSERT_FALSE(part.cross_links.empty());
+  for (const net::CrossLpLink& link : part.cross_links) {
+    EXPECT_EQ(link.latency, Time::micros(2));
+  }
+  EXPECT_EQ(part.lookahead, Time::micros(2));
+}
+
+TEST(LpPartition, RejectsNonPositiveLinkLatency) {
+  const net::TopologyPlan plan =
+      net::build_topology(net::TopologyConfig::fat_tree(2), 16);
+  // Scalar overload: a zero uniform latency can never support
+  // conservative progress on a multi-LP plan.
+  EXPECT_THROW(net::build_lp_partition(plan, Time::zero()),
+               std::invalid_argument);
+  // Callback overload: one bad link poisons the minimum, so it must be
+  // rejected even when every other link is fine — and the error names
+  // the offending link.
+  const net::LpPartition good = net::build_lp_partition(plan, Time::micros(1));
+  ASSERT_FALSE(good.cross_links.empty());
+  const int bad_src = static_cast<int>(good.cross_links.front().src_lp);
+  auto latency_of = [bad_src](int src_sw, int dst_sw) {
+    (void)dst_sw;
+    return src_sw == bad_src ? Time::zero() : Time::micros(1);
+  };
+  try {
+    net::build_lp_partition(plan, latency_of);
+    FAIL() << "expected the zero-latency link to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("link sw"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
